@@ -1,0 +1,371 @@
+//! The device-side ADB daemon (`adbd`).
+//!
+//! A state machine fed by transport bytes: it handshakes (`CNXN`),
+//! authenticates (`AUTH` token/signature/public-key), then serves one-shot
+//! service streams (`OPEN` → `OKAY` → `WRTE`… → `CLSE`). Output larger
+//! than the negotiated payload limit is split across multiple `WRTE`
+//! frames, like the real daemon.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::auth::{PublicKey, TOKEN_LEN};
+use crate::services::DeviceServices;
+use crate::transport::{TransportEnd, TransportError};
+use crate::wire::{
+    Packet, WireError, ADB_VERSION, AUTH_RSAPUBLICKEY, AUTH_SIGNATURE, AUTH_TOKEN, A_AUTH,
+    A_CLSE, A_CNXN, A_OKAY, A_OPEN, A_WRTE, MAX_PAYLOAD,
+};
+
+/// Daemon faults (wire corruption or transport loss).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DaemonError {
+    /// Framing/validation failure; the daemon drops the connection.
+    Wire(WireError),
+    /// Transport failure.
+    Transport(TransportError),
+}
+
+impl From<WireError> for DaemonError {
+    fn from(e: WireError) -> Self {
+        DaemonError::Wire(e)
+    }
+}
+
+impl From<TransportError> for DaemonError {
+    fn from(e: TransportError) -> Self {
+        DaemonError::Transport(e)
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum State {
+    /// Waiting for the host's CNXN.
+    Offline,
+    /// Challenge sent; waiting for a signature or a public key.
+    Authenticating { token: [u8; TOKEN_LEN], attempts: u8 },
+    /// Session established.
+    Online,
+}
+
+/// The `adbd` instance of one device.
+pub struct AdbDaemon<S: DeviceServices> {
+    services: S,
+    state: State,
+    rx_buf: BytesMut,
+    next_local_id: u32,
+    token_counter: u64,
+    known_keys: Vec<PublicKey>,
+    /// Count of sessions established (diagnostics).
+    sessions: u32,
+}
+
+impl<S: DeviceServices> AdbDaemon<S> {
+    /// A daemon in the offline state.
+    pub fn new(services: S) -> Self {
+        AdbDaemon {
+            services,
+            state: State::Offline,
+            rx_buf: BytesMut::new(),
+            next_local_id: 1,
+            token_counter: 0,
+            known_keys: Vec::new(),
+            sessions: 0,
+        }
+    }
+
+    /// Access the device behind the daemon.
+    pub fn services(&self) -> &S {
+        &self.services
+    }
+
+    /// Mutable access (tests & enrolment flows).
+    pub fn services_mut(&mut self) -> &mut S {
+        &mut self.services
+    }
+
+    /// Whether a session is established.
+    pub fn is_online(&self) -> bool {
+        self.state == State::Online
+    }
+
+    /// Sessions established over the daemon's lifetime.
+    pub fn sessions(&self) -> u32 {
+        self.sessions
+    }
+
+    /// Drop to the offline state (USB replug, `adb tcpip` restart).
+    pub fn reset(&mut self) {
+        self.state = State::Offline;
+        self.rx_buf.clear();
+    }
+
+    fn fresh_token(&mut self) -> [u8; TOKEN_LEN] {
+        // Deterministic but unique per challenge.
+        self.token_counter += 1;
+        let mut token = [0u8; TOKEN_LEN];
+        let c = self.token_counter;
+        for (i, b) in token.iter_mut().enumerate() {
+            *b = (c.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64 * 31) >> (i % 8)) as u8;
+        }
+        token
+    }
+
+    /// Pump: drain the transport, process every complete packet, send
+    /// replies. Call whenever the host may have written.
+    pub fn poll(&mut self, transport: &TransportEnd) -> Result<(), DaemonError> {
+        let incoming = transport.recv();
+        self.rx_buf.extend_from_slice(&incoming);
+        while let Some(packet) = Packet::decode(&mut self.rx_buf)? {
+            self.handle(packet, transport)?;
+        }
+        Ok(())
+    }
+
+    fn send(&self, transport: &TransportEnd, p: Packet) -> Result<(), DaemonError> {
+        transport.send(&p.encode())?;
+        Ok(())
+    }
+
+    fn go_online(&mut self, transport: &TransportEnd) -> Result<(), DaemonError> {
+        self.state = State::Online;
+        self.sessions += 1;
+        let banner = self.services.identity();
+        self.send(
+            transport,
+            Packet::new(A_CNXN, ADB_VERSION, MAX_PAYLOAD, banner.into_bytes()),
+        )
+    }
+
+    fn challenge(&mut self, transport: &TransportEnd, attempts: u8) -> Result<(), DaemonError> {
+        let token = self.fresh_token();
+        self.state = State::Authenticating { token, attempts };
+        self.send(
+            transport,
+            Packet::new(A_AUTH, AUTH_TOKEN, 0, token.to_vec()),
+        )
+    }
+
+    fn handle(&mut self, packet: Packet, transport: &TransportEnd) -> Result<(), DaemonError> {
+        match packet.command {
+            A_CNXN => {
+                if self.services.auth_required() {
+                    self.challenge(transport, 0)
+                } else {
+                    self.go_online(transport)
+                }
+            }
+            A_AUTH => self.handle_auth(packet, transport),
+            A_OPEN if self.state == State::Online => self.handle_open(packet, transport),
+            A_OPEN => {
+                // Service request before auth: close it immediately.
+                self.send(transport, Packet::new(A_CLSE, 0, packet.arg0, Bytes::new()))
+            }
+            // OKAY/CLSE acks for one-shot streams need no bookkeeping; SYNC
+            // and WRTE to unknown streams are ignored like the real daemon.
+            _ => Ok(()),
+        }
+    }
+
+    fn handle_auth(&mut self, packet: Packet, transport: &TransportEnd) -> Result<(), DaemonError> {
+        let State::Authenticating { token, attempts } = self.state else {
+            return Ok(()); // stray AUTH
+        };
+        match packet.arg0 {
+            AUTH_SIGNATURE => {
+                // Accept if any trusted key verifies. We don't store full
+                // public keys per fingerprint here; the device services
+                // own the trust store, so we ask it to verify by
+                // re-deriving candidate keys. For the simulation the
+                // signature embeds enough to verify against the trust
+                // store via PublicKey blobs carried in RSAPUBLICKEY; a
+                // signature-only login therefore succeeds only when the
+                // host previously registered its key.
+                if let Some(pk) = self.verify_signature(&token, &packet.payload) {
+                    let _ = pk;
+                    self.go_online(transport)
+                } else if attempts < 2 {
+                    // Re-challenge; after the retries the host falls back
+                    // to RSAPUBLICKEY.
+                    self.challenge(transport, attempts + 1)
+                } else {
+                    self.challenge(transport, attempts)
+                }
+            }
+            AUTH_RSAPUBLICKEY => {
+                let Some(pk) = PublicKey::parse(&packet.payload) else {
+                    return self.challenge(transport, attempts);
+                };
+                if self.services.is_key_trusted(&pk.fingerprint)
+                    || self.services.offer_key(&pk.fingerprint)
+                {
+                    // Real adbd asks the host to sign again; we shortcut
+                    // to online after acceptance, keeping one round trip.
+                    self.remember_key(pk);
+                    self.go_online(transport)
+                } else {
+                    // User declined: stay authenticating (host will give up).
+                    self.challenge(transport, attempts)
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn handle_open(&mut self, packet: Packet, transport: &TransportEnd) -> Result<(), DaemonError> {
+        let remote_id = packet.arg0;
+        let local_id = self.next_local_id;
+        self.next_local_id += 1;
+        let service = packet.text();
+        match self.services.exec(&service) {
+            Ok(output) => {
+                self.send(transport, Packet::new(A_OKAY, local_id, remote_id, Bytes::new()))?;
+                for chunk in output.chunks((MAX_PAYLOAD as usize).max(1)) {
+                    self.send(
+                        transport,
+                        Packet::new(A_WRTE, local_id, remote_id, chunk.to_vec()),
+                    )?;
+                }
+                self.send(transport, Packet::new(A_CLSE, local_id, remote_id, Bytes::new()))
+            }
+            Err(_) => {
+                // Service refused: CLSE without OKAY, as the real daemon.
+                self.send(transport, Packet::new(A_CLSE, 0, remote_id, Bytes::new()))
+            }
+        }
+    }
+
+    // -- key verification ---------------------------------------------------
+
+    fn verify_signature(&self, token: &[u8], signature: &[u8]) -> Option<()> {
+        for pk in self.known_keys.iter() {
+            if pk.verify(token, signature) {
+                return Some(());
+            }
+        }
+        None
+    }
+}
+
+// Known-key storage: adbd keeps the parsed public keys it accepted this
+// boot; the durable trust store (fingerprints) lives in DeviceServices.
+impl<S: DeviceServices> AdbDaemon<S> {
+    fn remember_key(&mut self, pk: PublicKey) {
+        if !self.known_keys.iter().any(|k| k == &pk) {
+            self.known_keys.push(pk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::services::MockServices;
+    use crate::transport::{duplex, TransportKind};
+
+    fn decode_all(raw: Vec<u8>) -> Vec<Packet> {
+        let mut buf = BytesMut::from(&raw[..]);
+        let mut out = Vec::new();
+        while let Some(p) = Packet::decode(&mut buf).unwrap() {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn no_auth_device_connects_directly() {
+        let (host, dev) = duplex(TransportKind::Usb);
+        let mut services = MockServices::default();
+        services.require_auth = false;
+        let mut daemon = AdbDaemon::new(services);
+        host.send(&Packet::new(A_CNXN, ADB_VERSION, MAX_PAYLOAD, &b"host::"[..]).encode())
+            .unwrap();
+        daemon.poll(&dev).unwrap();
+        let replies = decode_all(host.recv());
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].command, A_CNXN);
+        assert!(replies[0].text().starts_with("device::"));
+        assert!(daemon.is_online());
+    }
+
+    #[test]
+    fn auth_challenge_issued() {
+        let (host, dev) = duplex(TransportKind::Usb);
+        let mut daemon = AdbDaemon::new(MockServices::default());
+        host.send(&Packet::new(A_CNXN, ADB_VERSION, MAX_PAYLOAD, &b"host::"[..]).encode())
+            .unwrap();
+        daemon.poll(&dev).unwrap();
+        let replies = decode_all(host.recv());
+        assert_eq!(replies[0].command, A_AUTH);
+        assert_eq!(replies[0].arg0, AUTH_TOKEN);
+        assert_eq!(replies[0].payload.len(), TOKEN_LEN);
+        assert!(!daemon.is_online());
+    }
+
+    #[test]
+    fn open_before_auth_is_closed() {
+        let (host, dev) = duplex(TransportKind::Usb);
+        let mut daemon = AdbDaemon::new(MockServices::default());
+        host.send(&Packet::new(A_OPEN, 5, 0, &b"shell:id\0"[..]).encode()).unwrap();
+        daemon.poll(&dev).unwrap();
+        let replies = decode_all(host.recv());
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].command, A_CLSE);
+        assert_eq!(replies[0].arg1, 5);
+    }
+
+    #[test]
+    fn service_executes_after_no_auth_connect() {
+        let (host, dev) = duplex(TransportKind::WiFi);
+        let mut services = MockServices::default();
+        services.require_auth = false;
+        let mut daemon = AdbDaemon::new(services);
+        host.send(&Packet::new(A_CNXN, ADB_VERSION, MAX_PAYLOAD, &b"host::"[..]).encode())
+            .unwrap();
+        daemon.poll(&dev).unwrap();
+        host.recv();
+        host.send(&Packet::new(A_OPEN, 11, 0, &b"shell:echo hi\0"[..]).encode()).unwrap();
+        daemon.poll(&dev).unwrap();
+        let replies = decode_all(host.recv());
+        assert_eq!(replies[0].command, A_OKAY);
+        assert_eq!(replies[1].command, A_WRTE);
+        assert_eq!(replies[1].text(), "hi\n");
+        assert_eq!(replies[2].command, A_CLSE);
+        assert_eq!(daemon.services().executed, vec!["shell:echo hi"]);
+    }
+
+    #[test]
+    fn failed_service_closes_without_okay() {
+        let (host, dev) = duplex(TransportKind::WiFi);
+        let mut services = MockServices::default();
+        services.require_auth = false;
+        let mut daemon = AdbDaemon::new(services);
+        host.send(&Packet::new(A_CNXN, ADB_VERSION, MAX_PAYLOAD, &b"host::"[..]).encode())
+            .unwrap();
+        daemon.poll(&dev).unwrap();
+        host.recv();
+        host.send(&Packet::new(A_OPEN, 3, 0, &b"shell:fail\0"[..]).encode()).unwrap();
+        daemon.poll(&dev).unwrap();
+        let replies = decode_all(host.recv());
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].command, A_CLSE);
+    }
+
+    #[test]
+    fn reset_requires_new_handshake() {
+        let (host, dev) = duplex(TransportKind::Usb);
+        let mut services = MockServices::default();
+        services.require_auth = false;
+        let mut daemon = AdbDaemon::new(services);
+        host.send(&Packet::new(A_CNXN, ADB_VERSION, MAX_PAYLOAD, &b"host::"[..]).encode())
+            .unwrap();
+        daemon.poll(&dev).unwrap();
+        assert!(daemon.is_online());
+        daemon.reset();
+        assert!(!daemon.is_online());
+        host.recv();
+        host.send(&Packet::new(A_OPEN, 9, 0, &b"shell:id\0"[..]).encode()).unwrap();
+        daemon.poll(&dev).unwrap();
+        let replies = decode_all(host.recv());
+        assert_eq!(replies[0].command, A_CLSE, "must re-handshake after reset");
+    }
+}

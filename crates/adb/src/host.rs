@@ -1,0 +1,510 @@
+//! The host side of ADB: what `adb` the command-line tool (and the
+//! BatteryLab controller) speaks.
+//!
+//! [`AdbHostClient`] is a sans-IO state machine over a [`TransportEnd`]:
+//! callers write requests, pump the peer daemon, then call
+//! [`AdbHostClient::process`] to advance. [`AdbLink`] packages a client,
+//! a daemon and the duplex pipe into the synchronous API the controller
+//! uses (`connect`, `execute`, `shell`, …).
+
+use bytes::{Bytes, BytesMut};
+
+use crate::auth::AdbKey;
+use crate::daemon::{AdbDaemon, DaemonError};
+use crate::services::DeviceServices;
+use crate::transport::{duplex_with_profile, TransportEnd, TransportError, TransportKind};
+use crate::wire::{
+    Packet, WireError, ADB_VERSION, AUTH_RSAPUBLICKEY, AUTH_SIGNATURE, AUTH_TOKEN, A_AUTH,
+    A_CLSE, A_CNXN, A_OKAY, A_OPEN, A_WRTE, MAX_PAYLOAD,
+};
+use batterylab_net::LinkProfile;
+
+/// Host-side failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HostError {
+    /// Transport failure.
+    Transport(TransportError),
+    /// Framing corruption.
+    Wire(WireError),
+    /// The device refused our key (user declined the dialog).
+    AuthRejected,
+    /// The device closed the stream without accepting the service.
+    ServiceRefused(String),
+    /// Handshake/stream did not complete within the pump budget.
+    Stalled(&'static str),
+    /// Operation requires an established session.
+    NotConnected,
+}
+
+impl From<TransportError> for HostError {
+    fn from(e: TransportError) -> Self {
+        HostError::Transport(e)
+    }
+}
+
+impl From<WireError> for HostError {
+    fn from(e: WireError) -> Self {
+        HostError::Wire(e)
+    }
+}
+
+impl From<DaemonError> for HostError {
+    fn from(e: DaemonError) -> Self {
+        match e {
+            DaemonError::Wire(w) => HostError::Wire(w),
+            DaemonError::Transport(t) => HostError::Transport(t),
+        }
+    }
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::Transport(e) => write!(f, "transport: {e}"),
+            HostError::Wire(e) => write!(f, "wire: {e}"),
+            HostError::AuthRejected => write!(f, "device rejected our key"),
+            HostError::ServiceRefused(s) => write!(f, "service refused: {s}"),
+            HostError::Stalled(what) => write!(f, "protocol stalled during {what}"),
+            HostError::NotConnected => write!(f, "no adb session"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+#[derive(Debug, PartialEq)]
+enum AuthPhase {
+    /// Haven't answered a challenge yet.
+    Fresh,
+    /// Sent a signature for the last token.
+    SentSignature,
+    /// Fell back to sending our public key.
+    SentPublicKey,
+}
+
+#[derive(Debug)]
+enum StreamPhase {
+    AwaitingOkay,
+    Open { got: Vec<u8> },
+}
+
+/// Sans-IO host state machine.
+pub struct AdbHostClient {
+    transport: TransportEnd,
+    key: AdbKey,
+    rx: BytesMut,
+    banner: Option<String>,
+    auth: AuthPhase,
+    stream: Option<(u32, String, StreamPhase)>,
+    next_stream_id: u32,
+}
+
+impl AdbHostClient {
+    /// Client over `transport` authenticating with `key`.
+    pub fn new(transport: TransportEnd, key: AdbKey) -> Self {
+        AdbHostClient {
+            transport,
+            key,
+            rx: BytesMut::new(),
+            banner: None,
+            auth: AuthPhase::Fresh,
+            stream: None,
+            next_stream_id: 100,
+        }
+    }
+
+    /// The device banner once connected.
+    pub fn banner(&self) -> Option<&str> {
+        self.banner.as_deref()
+    }
+
+    /// Whether a session is established.
+    pub fn is_online(&self) -> bool {
+        self.banner.is_some()
+    }
+
+    /// The transport in use.
+    pub fn transport(&self) -> &TransportEnd {
+        &self.transport
+    }
+
+    /// Kick off the handshake.
+    pub fn start_connect(&mut self) -> Result<(), HostError> {
+        self.banner = None;
+        self.auth = AuthPhase::Fresh;
+        self.transport
+            .send(&Packet::new(A_CNXN, ADB_VERSION, MAX_PAYLOAD, &b"host::batterylab\0"[..]).encode())?;
+        Ok(())
+    }
+
+    /// Open a one-shot service stream.
+    pub fn start_service(&mut self, service: &str) -> Result<(), HostError> {
+        if !self.is_online() {
+            return Err(HostError::NotConnected);
+        }
+        let id = self.next_stream_id;
+        self.next_stream_id += 1;
+        let mut payload = service.as_bytes().to_vec();
+        payload.push(0);
+        self.transport
+            .send(&Packet::new(A_OPEN, id, 0, payload).encode())?;
+        self.stream = Some((id, service.to_string(), StreamPhase::AwaitingOkay));
+        Ok(())
+    }
+
+    /// Drain the transport and advance the state machine. Returns the
+    /// completed service output when a stream finished this call.
+    pub fn process(&mut self) -> Result<Option<Vec<u8>>, HostError> {
+        let bytes = self.transport.recv();
+        self.rx.extend_from_slice(&bytes);
+        let mut finished = None;
+        while let Some(packet) = Packet::decode(&mut self.rx)? {
+            if let Some(out) = self.handle(packet)? {
+                finished = Some(out);
+            }
+        }
+        Ok(finished)
+    }
+
+    fn handle(&mut self, packet: Packet) -> Result<Option<Vec<u8>>, HostError> {
+        match packet.command {
+            A_CNXN => {
+                self.banner = Some(packet.text());
+                Ok(None)
+            }
+            A_AUTH if packet.arg0 == AUTH_TOKEN => {
+                match self.auth {
+                    AuthPhase::Fresh => {
+                        let sig = self.key.sign(&packet.payload);
+                        self.transport
+                            .send(&Packet::new(A_AUTH, AUTH_SIGNATURE, 0, sig).encode())?;
+                        self.auth = AuthPhase::SentSignature;
+                    }
+                    AuthPhase::SentSignature => {
+                        // Signature bounced: offer our public key.
+                        self.transport
+                            .send(
+                                &Packet::new(A_AUTH, AUTH_RSAPUBLICKEY, 0, self.key.public_blob())
+                                    .encode(),
+                            )?;
+                        self.auth = AuthPhase::SentPublicKey;
+                    }
+                    AuthPhase::SentPublicKey => {
+                        // Key offered and still challenged: declined.
+                        return Err(HostError::AuthRejected);
+                    }
+                }
+                Ok(None)
+            }
+            A_OKAY => {
+                if let Some((id, _, phase)) = &mut self.stream {
+                    if packet.arg1 == *id {
+                        if let StreamPhase::AwaitingOkay = phase {
+                            *phase = StreamPhase::Open { got: Vec::new() };
+                        }
+                    }
+                }
+                Ok(None)
+            }
+            A_WRTE => {
+                if let Some((id, _, phase)) = &mut self.stream {
+                    if packet.arg1 == *id {
+                        if let StreamPhase::Open { got } = phase {
+                            got.extend_from_slice(&packet.payload);
+                            // Ack the write so the daemon can keep streaming.
+                            self.transport
+                                .send(&Packet::new(A_OKAY, *id, packet.arg0, Bytes::new()).encode())?;
+                        }
+                    }
+                }
+                Ok(None)
+            }
+            A_CLSE => {
+                let Some((id, service, phase)) = self.stream.take() else {
+                    return Ok(None);
+                };
+                if packet.arg1 != id {
+                    self.stream = Some((id, service, phase));
+                    return Ok(None);
+                }
+                match phase {
+                    StreamPhase::Open { got } => Ok(Some(got)),
+                    StreamPhase::AwaitingOkay => Err(HostError::ServiceRefused(service)),
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+/// A synchronous host↔daemon pairing over an in-memory duplex — the shape
+/// the controller uses: one `AdbLink` per (device, transport medium).
+pub struct AdbLink<S: DeviceServices> {
+    host: AdbHostClient,
+    daemon: AdbDaemon<S>,
+    daemon_end: TransportEnd,
+    kind: TransportKind,
+}
+
+/// Pump budget for one logical operation. Handshake + auth + fallback is
+/// ≤ 4 round trips; anything above this is a protocol bug.
+const PUMP_BUDGET: usize = 16;
+
+impl<S: DeviceServices> AdbLink<S> {
+    /// Wire a daemon for `services` to a fresh host client over `kind`.
+    pub fn new(services: S, kind: TransportKind, key: AdbKey) -> Self {
+        Self::with_profile(services, kind, kind.default_profile(), key)
+    }
+
+    /// As [`Self::new`] with an explicit link profile.
+    pub fn with_profile(
+        services: S,
+        kind: TransportKind,
+        profile: LinkProfile,
+        key: AdbKey,
+    ) -> Self {
+        let (host_end, daemon_end) = duplex_with_profile(kind, profile);
+        AdbLink {
+            host: AdbHostClient::new(host_end, key),
+            daemon: AdbDaemon::new(services),
+            daemon_end,
+            kind,
+        }
+    }
+
+    /// The transport medium.
+    pub fn kind(&self) -> TransportKind {
+        self.kind
+    }
+
+    /// The device services behind the daemon.
+    pub fn services(&self) -> &S {
+        self.daemon.services()
+    }
+
+    /// Mutable device services access.
+    pub fn services_mut(&mut self) -> &mut S {
+        self.daemon.services_mut()
+    }
+
+    /// Host-side client (advanced use / diagnostics).
+    pub fn host(&self) -> &AdbHostClient {
+        &self.host
+    }
+
+    /// Bytes moved in both directions (for radio-energy accounting).
+    pub fn bytes_on_wire(&self) -> u64 {
+        self.host.transport.bytes_sent() + self.host.transport.bytes_received_total()
+    }
+
+    /// Sever the transport (USB port power-off, WiFi loss).
+    pub fn disconnect_transport(&self) {
+        self.host.transport.disconnect();
+    }
+
+    /// Restore the transport; a new `connect` is required.
+    pub fn reconnect_transport(&mut self) {
+        self.host.transport.reconnect();
+        self.daemon.reset();
+        self.host.banner = None;
+    }
+
+    /// Establish a session (handshake + auth, with pubkey fallback).
+    pub fn connect(&mut self) -> Result<String, HostError> {
+        self.host.start_connect()?;
+        for _ in 0..PUMP_BUDGET {
+            self.daemon.poll(&self.daemon_end)?;
+            self.host.process()?;
+            if let Some(banner) = self.host.banner() {
+                return Ok(banner.to_string());
+            }
+        }
+        Err(HostError::Stalled("connect"))
+    }
+
+    /// Run a one-shot service and return its output.
+    pub fn execute(&mut self, service: &str) -> Result<Vec<u8>, HostError> {
+        self.host.start_service(service)?;
+        for _ in 0..PUMP_BUDGET {
+            self.daemon.poll(&self.daemon_end)?;
+            if let Some(out) = self.host.process()? {
+                return Ok(out);
+            }
+        }
+        Err(HostError::Stalled("service"))
+    }
+
+    /// `adb shell <cmd>`.
+    pub fn shell(&mut self, cmd: &str) -> Result<String, HostError> {
+        let out = self.execute(&format!("shell:{cmd}"))?;
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+
+    /// `adb logcat -d`.
+    pub fn logcat(&mut self) -> Result<String, HostError> {
+        self.shell("logcat -d")
+    }
+
+    /// `adb shell dumpsys <service>`.
+    pub fn dumpsys(&mut self, service: &str) -> Result<String, HostError> {
+        self.shell(&format!("dumpsys {service}"))
+    }
+
+    /// `adb shell input tap x y`.
+    pub fn input_tap(&mut self, x: u32, y: u32) -> Result<(), HostError> {
+        self.shell(&format!("input tap {x} {y}")).map(drop)
+    }
+
+    /// `adb shell input swipe` (scrolls in the paper's workload).
+    pub fn input_swipe(
+        &mut self,
+        x1: u32,
+        y1: u32,
+        x2: u32,
+        y2: u32,
+        ms: u32,
+    ) -> Result<(), HostError> {
+        self.shell(&format!("input swipe {x1} {y1} {x2} {y2} {ms}"))
+            .map(drop)
+    }
+
+    /// `adb shell input keyevent <code>`.
+    pub fn input_keyevent(&mut self, code: u32) -> Result<(), HostError> {
+        self.shell(&format!("input keyevent {code}")).map(drop)
+    }
+
+    /// `adb shell am start` an activity.
+    pub fn start_activity(&mut self, component: &str) -> Result<(), HostError> {
+        self.shell(&format!("am start -n {component}")).map(drop)
+    }
+
+    /// `adb shell am force-stop`.
+    pub fn force_stop(&mut self, package: &str) -> Result<(), HostError> {
+        self.shell(&format!("am force-stop {package}")).map(drop)
+    }
+
+    /// `adb shell pm clear` (the workload's "clean browser state" step).
+    pub fn pm_clear(&mut self, package: &str) -> Result<(), HostError> {
+        self.shell(&format!("pm clear {package}")).map(drop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::services::MockServices;
+
+    fn link(accept: bool) -> AdbLink<MockServices> {
+        let mut services = MockServices::default();
+        services.accept_new_keys = accept;
+        AdbLink::new(
+            services,
+            TransportKind::WiFi,
+            AdbKey::generate("test-host", 1),
+        )
+    }
+
+    #[test]
+    fn first_contact_registers_key_and_connects() {
+        let mut l = link(true);
+        let banner = l.connect().unwrap();
+        assert!(banner.starts_with("device::"));
+        assert_eq!(l.services().trusted.len(), 1);
+    }
+
+    #[test]
+    fn declined_key_is_auth_rejected() {
+        let mut l = link(false);
+        assert_eq!(l.connect().unwrap_err(), HostError::AuthRejected);
+    }
+
+    #[test]
+    fn second_connect_uses_signature_only() {
+        let mut l = link(true);
+        l.connect().unwrap();
+        let offered_before = l.services().trusted.len();
+        // New session, same key: should authenticate by signature without
+        // another key offer.
+        l.reconnect_transport();
+        l.connect().unwrap();
+        assert_eq!(l.services().trusted.len(), offered_before);
+    }
+
+    #[test]
+    fn shell_round_trip() {
+        let mut l = link(true);
+        l.connect().unwrap();
+        let out = l.shell("echo battery").unwrap();
+        assert_eq!(out, "battery\n");
+    }
+
+    #[test]
+    fn service_refused_surfaces() {
+        let mut l = link(true);
+        l.connect().unwrap();
+        let err = l.execute("shell:fail").unwrap_err();
+        assert_eq!(err, HostError::ServiceRefused("shell:fail".into()));
+    }
+
+    #[test]
+    fn execute_without_connect_fails() {
+        let mut l = link(true);
+        assert_eq!(l.execute("shell:id").unwrap_err(), HostError::NotConnected);
+    }
+
+    #[test]
+    fn disconnect_breaks_then_reconnect_heals() {
+        let mut l = link(true);
+        l.connect().unwrap();
+        l.disconnect_transport();
+        assert!(matches!(
+            l.shell("echo x").unwrap_err(),
+            HostError::Transport(TransportError::Disconnected)
+        ));
+        l.reconnect_transport();
+        l.connect().unwrap();
+        assert_eq!(l.shell("echo x").unwrap(), "x\n");
+    }
+
+    #[test]
+    fn helper_commands_reach_device() {
+        let mut l = link(true);
+        l.connect().unwrap();
+        l.input_tap(100, 200).unwrap();
+        l.input_swipe(500, 1500, 500, 300, 300).unwrap();
+        l.pm_clear("com.android.chrome").unwrap();
+        let executed = &l.services().executed;
+        assert!(executed.iter().any(|s| s == "shell:input tap 100 200"));
+        assert!(executed.iter().any(|s| s == "shell:input swipe 500 1500 500 300 300"));
+        assert!(executed.iter().any(|s| s == "shell:pm clear com.android.chrome"));
+    }
+
+    #[test]
+    fn large_output_crosses_multiple_writes() {
+        // MockServices echoes back service names; use a daemon-level test
+        // instead: craft a service whose output exceeds MAX_PAYLOAD.
+        struct BigOutput;
+        impl DeviceServices for BigOutput {
+            fn identity(&self) -> String {
+                "device::big;".into()
+            }
+            fn auth_required(&self) -> bool {
+                false
+            }
+            fn is_key_trusted(&self, _: &str) -> bool {
+                false
+            }
+            fn offer_key(&mut self, _: &str) -> bool {
+                true
+            }
+            fn exec(&mut self, _: &str) -> Result<Vec<u8>, String> {
+                Ok(vec![0xA5; (MAX_PAYLOAD as usize) * 2 + 17])
+            }
+        }
+        let mut l = AdbLink::new(BigOutput, TransportKind::Usb, AdbKey::generate("h", 2));
+        l.connect().unwrap();
+        let out = l.execute("shell:dump").unwrap();
+        assert_eq!(out.len(), (MAX_PAYLOAD as usize) * 2 + 17);
+        assert!(out.iter().all(|&b| b == 0xA5));
+    }
+}

@@ -1,0 +1,104 @@
+//! The boundary between the ADB daemon and the device it runs on.
+//!
+//! `adbd` itself is transport + protocol; everything it *does* (run shell
+//! commands, dump logcat, inject input) is delegated to the device through
+//! [`DeviceServices`]. The Android simulator in `batterylab-device`
+//! implements this trait; tests use [`MockServices`].
+
+/// What the daemon asks of its device.
+pub trait DeviceServices: Send {
+    /// The `CNXN` banner, e.g.
+    /// `device::ro.product.name=j7duo;ro.product.model=SM-J720F;`.
+    fn identity(&self) -> String;
+
+    /// Whether USB-debugging authentication is enforced (it is on any
+    /// production build).
+    fn auth_required(&self) -> bool {
+        true
+    }
+
+    /// Is this key fingerprint in the trust store?
+    fn is_key_trusted(&self, fingerprint: &str) -> bool;
+
+    /// A new key asks to be trusted (the "Allow USB debugging?" dialog).
+    /// Returns true if accepted. BatteryLab vantage points pre-accept the
+    /// access server's key during enrolment (§3.4).
+    fn offer_key(&mut self, fingerprint: &str) -> bool;
+
+    /// Execute a one-shot service (`shell:…`, `logcat`, …) and return its
+    /// output. `Err` becomes a stream failure on the wire.
+    fn exec(&mut self, service: &str) -> Result<Vec<u8>, String>;
+
+    /// Whether adbd runs with root privileges (needed for
+    /// ADB-over-Bluetooth per §3.3).
+    fn is_rooted(&self) -> bool {
+        false
+    }
+}
+
+/// A scriptable device for protocol tests.
+pub struct MockServices {
+    /// Banner to present.
+    pub banner: String,
+    /// Trusted fingerprints.
+    pub trusted: Vec<String>,
+    /// Whether the (simulated) user taps "allow" for new keys.
+    pub accept_new_keys: bool,
+    /// Whether auth is enforced at all.
+    pub require_auth: bool,
+    /// Services executed, in order (assertable).
+    pub executed: Vec<String>,
+    /// Rooted?
+    pub rooted: bool,
+}
+
+impl Default for MockServices {
+    fn default() -> Self {
+        MockServices {
+            banner: "device::ro.product.name=mock;".to_string(),
+            trusted: Vec::new(),
+            accept_new_keys: true,
+            require_auth: true,
+            executed: Vec::new(),
+            rooted: false,
+        }
+    }
+}
+
+impl DeviceServices for MockServices {
+    fn identity(&self) -> String {
+        self.banner.clone()
+    }
+
+    fn auth_required(&self) -> bool {
+        self.require_auth
+    }
+
+    fn is_key_trusted(&self, fingerprint: &str) -> bool {
+        self.trusted.iter().any(|f| f == fingerprint)
+    }
+
+    fn offer_key(&mut self, fingerprint: &str) -> bool {
+        if self.accept_new_keys {
+            self.trusted.push(fingerprint.to_string());
+            true
+        } else {
+            false
+        }
+    }
+
+    fn exec(&mut self, service: &str) -> Result<Vec<u8>, String> {
+        self.executed.push(service.to_string());
+        match service {
+            s if s.starts_with("shell:echo ") => {
+                Ok(format!("{}\n", &s["shell:echo ".len()..]).into_bytes())
+            }
+            "shell:fail" => Err("command failed".to_string()),
+            s => Ok(format!("mock:{s}").into_bytes()),
+        }
+    }
+
+    fn is_rooted(&self) -> bool {
+        self.rooted
+    }
+}

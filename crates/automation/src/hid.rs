@@ -1,0 +1,240 @@
+//! Bluetooth HID keyboard emulation.
+//!
+//! The controller advertises a standard HID keyboard service; the device
+//! pairs with it like any physical keyboard (§3.3). We implement the HID
+//! usage-table mapping and 8-byte input reports, and charge realistic
+//! per-keystroke latency over the Bluetooth link.
+
+use batterylab_device::KeyTarget;
+use batterylab_sim::SimDuration;
+
+use crate::backend::AutomationError;
+
+/// HID modifier bits (byte 0 of the input report).
+pub mod modifiers {
+    /// Left Control.
+    pub const LCTRL: u8 = 0x01;
+    /// Left Shift.
+    pub const LSHIFT: u8 = 0x02;
+    /// Left Alt.
+    pub const LALT: u8 = 0x04;
+    /// Left GUI (Search key on Android).
+    pub const LGUI: u8 = 0x08;
+}
+
+/// An 8-byte HID keyboard input report: modifiers, reserved, 6 usage codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HidReport(pub [u8; 8]);
+
+impl HidReport {
+    /// A report with one pressed key.
+    pub fn key(modifier: u8, usage: u8) -> Self {
+        HidReport([modifier, 0, usage, 0, 0, 0, 0, 0])
+    }
+
+    /// The all-released report.
+    pub fn release() -> Self {
+        HidReport([0; 8])
+    }
+}
+
+/// Map a named key to (modifier, usage code) per the HID usage tables.
+pub fn usage_for(key: &str) -> Option<(u8, u8)> {
+    Some(match key {
+        "enter" => (0, 0x28),
+        "esc" => (0, 0x29),
+        "tab" => (0, 0x2b),
+        "space" => (0, 0x2c),
+        "pageup" => (0, 0x4b),
+        "pagedown" => (0, 0x4e),
+        "up" => (0, 0x52),
+        "down" => (0, 0x51),
+        "ctrl" => (modifiers::LCTRL, 0),
+        "gui" => (modifiers::LGUI, 0),
+        "l" => (0, 0x0f),
+        _ => return None,
+    })
+}
+
+/// Map an ASCII char to (modifier, usage).
+pub fn usage_for_char(c: char) -> Option<(u8, u8)> {
+    Some(match c {
+        'a'..='z' => (0, 0x04 + (c as u8 - b'a')),
+        'A'..='Z' => (modifiers::LSHIFT, 0x04 + (c.to_ascii_lowercase() as u8 - b'a')),
+        '1'..='9' => (0, 0x1e + (c as u8 - b'1')),
+        '0' => (0, 0x27),
+        ' ' => (0, 0x2c),
+        '.' => (0, 0x37),
+        '-' => (0, 0x2d),
+        '/' => (0, 0x38),
+        ':' => (modifiers::LSHIFT, 0x33),
+        _ => return None,
+    })
+}
+
+/// Per-keystroke cost: BT round trip + device input handling.
+const KEYSTROKE: SimDuration = SimDuration::from_millis(55);
+
+/// The controller's virtual keyboard, paired to one device — Android or
+/// iOS, the §3.3 point of this backend being OS-generic.
+pub struct HidKeyboard<T: KeyTarget> {
+    device: T,
+    reports_sent: u64,
+}
+
+impl<T: KeyTarget> HidKeyboard<T> {
+    /// Pair with `device`.
+    pub fn new(device: T) -> Self {
+        HidKeyboard {
+            device,
+            reports_sent: 0,
+        }
+    }
+
+    /// Reports sent over the link (each key is press + release).
+    pub fn reports_sent(&self) -> u64 {
+        self.reports_sent
+    }
+
+    fn send_report(&mut self, _report: HidReport) {
+        self.reports_sent += 1;
+        // Half the keystroke budget per report (press/release pair).
+        self.device.with_device_sim(|s| {
+            s.run_activity(KEYSTROKE / 2, 0.08, 0.05);
+        });
+    }
+
+    /// Press and release a named key.
+    pub fn send_key(&mut self, key: &str) -> Result<(), AutomationError> {
+        let (modifier, usage) = usage_for(key).ok_or_else(|| AutomationError::Unsupported {
+            backend: "bt-keyboard",
+            action: format!("unknown key {key:?}"),
+        })?;
+        self.send_report(HidReport::key(modifier, usage));
+        self.send_report(HidReport::release());
+        Ok(())
+    }
+
+    /// Press a chord like Ctrl+L.
+    pub fn send_chord(&mut self, keys: &[&str]) -> Result<(), AutomationError> {
+        let mut modifier = 0u8;
+        let mut usage = 0u8;
+        for key in keys {
+            let (m, u) = usage_for(key).ok_or_else(|| AutomationError::Unsupported {
+                backend: "bt-keyboard",
+                action: format!("unknown key {key:?}"),
+            })?;
+            modifier |= m;
+            if u != 0 {
+                usage = u;
+            }
+        }
+        self.send_report(HidReport::key(modifier, usage));
+        self.send_report(HidReport::release());
+        Ok(())
+    }
+
+    /// Type a string character by character. Unmappable characters fail —
+    /// the §3.3 "level of automation depends on keyboard support" caveat.
+    pub fn type_text(&mut self, text: &str) -> Result<(), AutomationError> {
+        for c in text.chars() {
+            let (modifier, usage) =
+                usage_for_char(c).ok_or_else(|| AutomationError::Unsupported {
+                    backend: "bt-keyboard",
+                    action: format!("untypeable character {c:?}"),
+                })?;
+            self.send_report(HidReport::key(modifier, usage));
+            self.send_report(HidReport::release());
+        }
+        Ok(())
+    }
+
+    /// Send a raw Android keycode (mapped through the HID boot protocol).
+    pub fn send_raw(&mut self, _android_code: u32) -> Result<(), AutomationError> {
+        self.send_report(HidReport::key(0, 0x00));
+        self.send_report(HidReport::release());
+        Ok(())
+    }
+
+    /// Launch an app through the launcher search: GUI key, type the name,
+    /// Enter. Slow but generic — the §3.3 trade-off.
+    pub fn launch_via_search(&mut self, package: &str) -> Result<(), AutomationError> {
+        self.send_chord(&["gui"])?;
+        // Type the last component of the package as the search string.
+        let name: String = package
+            .rsplit('.')
+            .next()
+            .unwrap_or(package)
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect();
+        self.type_text(&name)?;
+        self.send_key("enter")?;
+        // App cold start.
+        self.device.with_device_sim(|s| {
+            s.set_screen(true);
+            s.run_activity(SimDuration::from_millis(1200), 0.45, 0.7);
+        });
+        self.device.register_app(package); // launcher foregrounds it
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batterylab_device::{boot_j7_duo, AndroidDevice};
+    use batterylab_sim::SimRng;
+
+    fn kb() -> (AndroidDevice, HidKeyboard<AndroidDevice>) {
+        let d = boot_j7_duo(&SimRng::new(8), "hid-dev");
+        (d.clone(), HidKeyboard::new(d))
+    }
+
+    #[test]
+    fn usage_table_basics() {
+        assert_eq!(usage_for("enter"), Some((0, 0x28)));
+        assert_eq!(usage_for_char('a'), Some((0, 0x04)));
+        assert_eq!(usage_for_char('A'), Some((modifiers::LSHIFT, 0x04)));
+        assert_eq!(usage_for_char('0'), Some((0, 0x27)));
+        assert_eq!(usage_for_char('€'), None);
+    }
+
+    #[test]
+    fn typing_costs_time_and_reports() {
+        let (d, mut kb) = kb();
+        let t0 = d.with_sim(|s| s.now());
+        kb.type_text("hello").unwrap();
+        assert_eq!(kb.reports_sent(), 10); // 5 × (press + release)
+        assert!(d.with_sim(|s| s.now()) > t0);
+    }
+
+    #[test]
+    fn untypeable_character_fails() {
+        let (_, mut kb) = kb();
+        let err = kb.type_text("héllo").unwrap_err();
+        assert!(matches!(err, AutomationError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn chord_combines_modifiers() {
+        let (_, mut kb) = kb();
+        kb.send_chord(&["ctrl", "l"]).unwrap();
+        assert_eq!(kb.reports_sent(), 2);
+    }
+
+    #[test]
+    fn launch_via_search_foregrounds_app() {
+        let (d, mut kb) = kb();
+        kb.launch_via_search("com.brave.browser").unwrap();
+        // Launch happened; device knows the package now.
+        let t = d.with_sim(|s| s.now());
+        assert!(t.as_micros() > 0);
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let (_, mut kb) = kb();
+        assert!(kb.send_key("hyperdrive").is_err());
+    }
+}

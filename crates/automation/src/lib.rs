@@ -1,0 +1,21 @@
+//! # batterylab-automation
+//!
+//! Test automation (§3.3): portable [`Script`]s of device actions and the
+//! three backends that execute them — [`AdbBackend`] (USB/WiFi/Bluetooth,
+//! with each medium's constraint enforced), [`UiTestBackend`] (on-device
+//! instrumentation, needs app source) and [`BluetoothKeyboardBackend`]
+//! (HID keyboard emulation: generic, root-free, cellular-compatible, but
+//! no mirroring and key-level granularity only).
+
+#![warn(missing_docs)]
+
+mod backend;
+mod hid;
+mod script;
+
+pub use backend::{
+    AdbBackend, AutomationBackend, AutomationError, BackendKind, BluetoothKeyboardBackend,
+    UiTestBackend, XcTestBackend,
+};
+pub use hid::{modifiers, usage_for, usage_for_char, HidKeyboard, HidReport};
+pub use script::{Action, Script, ScrollDir};

@@ -1,0 +1,54 @@
+//! Criterion benches: one per table/figure of the paper's evaluation,
+//! driving the same pipelines as `eval` at reduced scale. These both
+//! document the cost of regenerating each result and guard against
+//! performance regressions in the simulation core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use batterylab::eval::{fig2, fig3, fig4, fig5, fig6, sysperf, table2, EvalConfig};
+
+fn bench_config() -> EvalConfig {
+    EvalConfig {
+        // Small but non-trivial: every pipeline stage still runs.
+        fig2_duration_s: 10.0,
+        sample_rate_hz: 200.0,
+        reps: 1,
+        scrolls_per_page: 2,
+        sites: 2,
+        latency_trials: 10,
+        ..EvalConfig::quick(1)
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    let config = bench_config();
+
+    group.bench_function("fig2_current_cdf", |b| {
+        b.iter(|| black_box(fig2::run(&config)))
+    });
+    group.bench_function("fig3_browser_energy", |b| {
+        b.iter(|| black_box(fig3::run(&config)))
+    });
+    group.bench_function("fig4_device_cpu_cdf", |b| {
+        b.iter(|| black_box(fig4::run(&config)))
+    });
+    group.bench_function("fig5_controller_cpu_cdf", |b| {
+        b.iter(|| black_box(fig5::run(&config)))
+    });
+    group.bench_function("table2_vpn_speedtest", |b| {
+        b.iter(|| black_box(table2::run(&config)))
+    });
+    group.bench_function("fig6_vpn_energy", |b| {
+        b.iter(|| black_box(fig6::run(&config)))
+    });
+    group.bench_function("sysperf_section42", |b| {
+        b.iter(|| black_box(sysperf::run(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Microbenches of the platform's hot paths: ADB wire framing, Monsoon
+//! sampling, relay switching, device-trace building, the DES engine and
+//! the scheduler. These are the costs a vantage point actually pays per
+//! measurement second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use batterylab::adb::{AdbKey, AdbLink, MockServices, Packet, TransportKind};
+use batterylab::device::boot_j7_duo;
+use batterylab::power::{ConstantLoad, Monsoon};
+use batterylab::relay::CircuitSwitch;
+use batterylab::sim::{Engine, SimDuration, SimRng, SimTime};
+use bytes::BytesMut;
+
+fn bench_adb_framing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adb");
+    let payload = vec![0xA5u8; 4096];
+    let packet = Packet::new(batterylab::adb::wire::A_WRTE, 1, 2, payload);
+    let encoded = packet.encode();
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_4k", |b| b.iter(|| black_box(packet.encode())));
+    group.bench_function("decode_4k", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::from(&encoded[..]);
+            black_box(Packet::decode(&mut buf).unwrap().unwrap())
+        })
+    });
+    group.bench_function("shell_round_trip", |b| {
+        let mut link = AdbLink::new(
+            MockServices::default(),
+            TransportKind::WiFi,
+            AdbKey::generate("bench", 1),
+        );
+        link.connect().unwrap();
+        b.iter(|| black_box(link.shell("echo bench").unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_monsoon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monsoon");
+    // One virtual second at the native 5 kHz.
+    group.throughput(Throughput::Elements(5000));
+    group.bench_function("sample_1s_at_5khz", |b| {
+        b.iter(|| {
+            let mut m = Monsoon::new(SimRng::new(1).derive("m"));
+            m.set_powered(true);
+            m.set_voltage(4.0).unwrap();
+            m.enable_vout().unwrap();
+            black_box(
+                m.sample_run(&ConstantLoad::new(160.0, 4.0), SimTime::ZERO, 1.0)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_relay(c: &mut Criterion) {
+    c.bench_function("relay/switch_cycle", |b| {
+        let switch = CircuitSwitch::new(4);
+        switch
+            .attach(0, Arc::new(ConstantLoad::new(100.0, 4.0)))
+            .unwrap();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            switch.engage_bypass(0, SimTime::from_millis(t)).unwrap();
+            switch.release_bypass(0, SimTime::from_millis(t)).unwrap();
+        })
+    });
+}
+
+fn bench_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device");
+    group.sample_size(20);
+    group.bench_function("video_60s_trace", |b| {
+        b.iter(|| {
+            let d = boot_j7_duo(&SimRng::new(2), "bench-dev");
+            d.with_sim(|s| {
+                s.set_screen(true);
+                s.play_video(SimDuration::from_secs(60));
+            });
+            black_box(d)
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("schedule_and_run_10k", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                eng.schedule_at(SimTime::from_micros(i * 7 % 65_536), move |_, a| *a += i);
+            }
+            eng.run_to_completion(&mut acc);
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_adb_framing,
+    bench_monsoon,
+    bench_relay,
+    bench_device,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Regenerate the BatteryLab paper's evaluation: every table and figure
+//! of §4, printed as the rows/series the paper reports.
+//!
+//! ```sh
+//! cargo run --release -p batterylab-bench --bin eval -- all
+//! cargo run --release -p batterylab-bench --bin eval -- fig2 fig5
+//! cargo run --release -p batterylab-bench --bin eval -- --quick all
+//! cargo run --release -p batterylab-bench --bin eval -- --seed 7 fig3
+//! ```
+//!
+//! Targets: `fig2 fig3 fig4 fig5 fig6 table2 sysperf all`.
+//! `--quick` runs the reduced configuration (shorter videos, fewer sites
+//! and repetitions); the default is paper-scale.
+
+use batterylab::eval::{export, fig2, fig3, fig4, fig5, fig6, sysperf, table2, EvalConfig};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eval [--quick] [--seed N] [--out DIR] <target>...\n\
+         targets: fig2 fig3 fig4 fig5 fig6 table2 sysperf all\n\
+         --out DIR writes plot-ready CSV/JSON series next to the printed tables"
+    );
+    std::process::exit(2);
+}
+
+fn write(out: &Option<PathBuf>, name: &str, content: &str) {
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        let path = dir.join(name);
+        std::fs::write(&path, content).expect("write output");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed: Option<u64> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                seed = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--out" => {
+                out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--help" | "-h" => usage(),
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = ["fig2", "fig3", "fig4", "fig5", "table2", "fig6", "sysperf"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let mut config = if quick {
+        EvalConfig::quick(seed.unwrap_or(2019))
+    } else {
+        EvalConfig::default()
+    };
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    println!(
+        "# BatteryLab evaluation | seed={} | {} configuration\n",
+        config.seed,
+        if quick { "quick" } else { "paper-scale" }
+    );
+
+    for target in targets {
+        match target.as_str() {
+            "fig2" => {
+                let f = fig2::run(&config);
+                print(&f.render());
+                write(&out, "fig2_cdf.csv", &export::cdf_series_csv(&export::fig2_series(&f)));
+            }
+            "fig3" => {
+                let f = fig3::run(&config);
+                print(&f.render());
+                write(&out, "fig3_bars.csv", &export::bars_csv(&export::fig3_bars(&f)));
+            }
+            "fig4" => {
+                let f = fig4::run(&config);
+                print(&f.render());
+                write(&out, "fig4_cdf.csv", &export::cdf_series_csv(&export::fig4_series(&f)));
+            }
+            "fig5" => {
+                let f = fig5::run(&config);
+                print(&f.render());
+                write(&out, "fig5_cdf.csv", &export::cdf_series_csv(&export::fig5_series(&f)));
+            }
+            "fig6" => {
+                let f = fig6::run(&config);
+                print(&f.render());
+                write(&out, "fig6_bars.csv", &export::bars_csv(&export::fig6_bars(&f)));
+            }
+            "table2" => {
+                let t = table2::run(&config);
+                print(&t.render());
+                write(
+                    &out,
+                    "table2.json",
+                    &serde_json::to_string_pretty(&export::table2_rows(&t)).expect("serialise"),
+                );
+            }
+            "sysperf" => print(&sysperf::run(&config).render()),
+            other => {
+                eprintln!("unknown target {other:?}");
+                usage();
+            }
+        }
+    }
+}
+
+fn print(text: &str) {
+    println!("{text}");
+}

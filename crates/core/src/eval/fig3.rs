@@ -1,0 +1,196 @@
+//! Figure 3: average battery discharge (mAh, ± std-dev error bars) per
+//! browser, with and without device mirroring.
+//!
+//! Shape requirements from the paper: Brave minimal, Firefox maximal,
+//! ordering unchanged by mirroring, and mirroring a roughly constant
+//! extra cost across browsers.
+//!
+//! This experiment runs end-to-end through the access server's job queue
+//! — submitted as jobs, dispatched to node1, executed over ADB-WiFi —
+//! exercising the full platform path.
+
+use batterylab_net::Region;
+use batterylab_server::{Constraints, JobOutcome, Payload};
+use batterylab_stats::Summary;
+use batterylab_workloads::BrowserProfile;
+
+use crate::eval::common::{measured_browser_run, EvalConfig};
+use crate::platform::Platform;
+
+/// One bar of the figure.
+#[derive(Clone, Debug)]
+pub struct Fig3Bar {
+    /// Browser name.
+    pub browser: String,
+    /// Mirroring active?
+    pub mirroring: bool,
+    /// Discharge summary over the repetitions, mAh.
+    pub discharge_mah: Summary,
+}
+
+/// The figure's data.
+pub struct Fig3 {
+    /// All bars: 4 browsers × {plain, mirroring}.
+    pub bars: Vec<Fig3Bar>,
+}
+
+impl Fig3 {
+    /// Look up a bar.
+    pub fn bar(&self, browser: &str, mirroring: bool) -> &Fig3Bar {
+        self.bars
+            .iter()
+            .find(|b| b.browser == browser && b.mirroring == mirroring)
+            .expect("bar exists")
+    }
+
+    /// Browsers ordered by plain-run mean discharge, cheapest first.
+    pub fn ranking(&self) -> Vec<String> {
+        let mut plain: Vec<&Fig3Bar> = self.bars.iter().filter(|b| !b.mirroring).collect();
+        plain.sort_by(|a, b| {
+            a.discharge_mah
+                .mean
+                .partial_cmp(&b.discharge_mah.mean)
+                .expect("finite")
+        });
+        plain.iter().map(|b| b.browser.clone()).collect()
+    }
+
+    /// Render as the paper's bar chart, textually.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Figure 3: per-browser energy consumption (mAh per workload run)\n");
+        out.push_str(&format!(
+            "{:<10} {:>18} {:>18}\n",
+            "browser", "plain (mean±std)", "mirroring (mean±std)"
+        ));
+        for profile in BrowserProfile::all_four() {
+            let plain = &self.bar(&profile.name, false).discharge_mah;
+            let mirrored = &self.bar(&profile.name, true).discharge_mah;
+            out.push_str(&format!(
+                "{:<10} {:>11.2} ±{:>4.2} {:>11.2} ±{:>4.2}\n",
+                profile.name, plain.mean, plain.std_dev, mirrored.mean, mirrored.std_dev
+            ));
+        }
+        out
+    }
+}
+
+/// Run Figure 3 through the platform's job pipeline.
+pub fn run(config: &EvalConfig) -> Fig3 {
+    let mut platform = Platform::paper_testbed(config.seed);
+    let serial = platform.j7_serial().to_string();
+    let mut bars = Vec::new();
+    for profile in BrowserProfile::all_four() {
+        for mirroring in [false, true] {
+            let mut runs_mah = Vec::with_capacity(config.reps);
+            for rep in 0..config.reps {
+                // Submit one job per repetition, as an experimenter would.
+                let profile = profile.clone();
+                let serial_for_job = serial.clone();
+                let config_for_job = config.clone();
+                let job_name = format!(
+                    "fig3/{}/{}/rep{rep}",
+                    profile.name,
+                    if mirroring { "mirror" } else { "plain" }
+                );
+                let id = platform
+                    .server
+                    .submit_job(
+                        platform.experimenter_token,
+                        &job_name,
+                        Constraints {
+                            device: Some(serial.clone()),
+                            ..Default::default()
+                        },
+                        Payload::Custom(Box::new(move |vp| {
+                            let report = measured_browser_run(
+                                vp,
+                                &serial_for_job,
+                                profile.clone(),
+                                Region::Local,
+                                mirroring,
+                                &config_for_job,
+                            );
+                            Ok(JobOutcome {
+                                summary: serde_json::json!({
+                                    "discharge_mah": report.mah(),
+                                    "mean_ma": report.mean_ma(),
+                                }),
+                                artifacts: vec![],
+                                finished_at: report.window.1,
+                            })
+                        })),
+                    )
+                    .expect("experimenter may submit");
+                platform.server.tick().expect("job dispatches");
+                let build = platform
+                    .server
+                    .build(platform.experimenter_token, id)
+                    .expect("build recorded");
+                let mah = build.summary.as_ref().expect("succeeded")["discharge_mah"]
+                    .as_f64()
+                    .expect("number");
+                runs_mah.push(mah);
+            }
+            bars.push(Fig3Bar {
+                browser: profile.name.clone(),
+                mirroring,
+                discharge_mah: Summary::of(&runs_mah),
+            });
+        }
+    }
+    Fig3 { bars }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3() -> Fig3 {
+        run(&EvalConfig::quick(13))
+    }
+
+    #[test]
+    fn brave_cheapest_firefox_dearest() {
+        let f = fig3();
+        let ranking = f.ranking();
+        assert_eq!(ranking.first().map(String::as_str), Some("Brave"), "{ranking:?}");
+        assert_eq!(ranking.last().map(String::as_str), Some("Firefox"), "{ranking:?}");
+    }
+
+    #[test]
+    fn mirroring_is_roughly_constant_extra() {
+        let f = fig3();
+        let extras: Vec<f64> = BrowserProfile::all_four()
+            .iter()
+            .map(|p| {
+                f.bar(&p.name, true).discharge_mah.mean - f.bar(&p.name, false).discharge_mah.mean
+            })
+            .collect();
+        for &e in &extras {
+            assert!(e > 0.0, "mirroring must cost energy: {extras:?}");
+        }
+        let min = extras.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = extras.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max / min < 2.5,
+            "extra cost should be roughly constant across browsers: {extras:?}"
+        );
+    }
+
+    #[test]
+    fn ordering_survives_mirroring() {
+        let f = fig3();
+        let brave = f.bar("Brave", true).discharge_mah.mean;
+        let firefox = f.bar("Firefox", true).discharge_mah.mean;
+        assert!(brave < firefox);
+    }
+
+    #[test]
+    fn render_lists_all_browsers() {
+        let text = fig3().render();
+        for p in BrowserProfile::all_four() {
+            assert!(text.contains(&p.name));
+        }
+    }
+}

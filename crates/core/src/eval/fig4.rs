@@ -1,0 +1,153 @@
+//! Figure 4: CDF of device CPU utilisation for Brave and Chrome, with and
+//! without mirroring.
+//!
+//! Shape requirements: Brave's median ≈12 % vs Chrome's ≈20 %, and
+//! mirroring adds ≈5 percentage points to both, more pronounced at the
+//! high end (the encoder works harder when the screen changes fast).
+
+use batterylab_net::Region;
+use batterylab_sim::SimDuration;
+use batterylab_stats::Cdf;
+use batterylab_workloads::BrowserProfile;
+
+use crate::eval::common::{measured_browser_run, EvalConfig};
+use crate::platform::Platform;
+
+/// One CDF line of the figure.
+pub struct Fig4Line {
+    /// Browser name.
+    pub browser: String,
+    /// Mirroring active?
+    pub mirroring: bool,
+    /// CPU utilisation samples (percent, 1 Hz).
+    pub cpu: Cdf,
+}
+
+/// The figure's data.
+pub struct Fig4 {
+    /// Four lines: {Brave, Chrome} × {plain, mirroring}.
+    pub lines: Vec<Fig4Line>,
+}
+
+impl Fig4 {
+    /// Look up a line.
+    pub fn line(&self, browser: &str, mirroring: bool) -> &Fig4Line {
+        self.lines
+            .iter()
+            .find(|l| l.browser == browser && l.mirroring == mirroring)
+            .expect("line exists")
+    }
+
+    /// Render quantiles per line.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 4: CDF of device CPU utilisation (%)\n");
+        out.push_str(&format!(
+            "{:<20} {:>8} {:>8} {:>8} {:>8}\n",
+            "line", "p25", "p50", "p75", "p90"
+        ));
+        for l in &self.lines {
+            out.push_str(&format!(
+                "{:<20} {:>8.1} {:>8.1} {:>8.1} {:>8.1}\n",
+                format!("{}{}", l.browser, if l.mirroring { "+mirror" } else { "" }),
+                l.cpu.quantile(0.25),
+                l.cpu.median(),
+                l.cpu.quantile(0.75),
+                l.cpu.quantile(0.90),
+            ));
+        }
+        out
+    }
+}
+
+/// Run Figure 4: the same workload as Fig. 3, sampling the device CPU at
+/// 1 Hz (like `dumpsys cpuinfo` polling).
+pub fn run(config: &EvalConfig) -> Fig4 {
+    let mut lines = Vec::new();
+    for profile in [BrowserProfile::brave(), BrowserProfile::chrome()] {
+        for mirroring in [false, true] {
+            // Fresh platform per line keeps traces independent.
+            let mut platform = Platform::paper_testbed(
+                config.seed ^ (profile.name.len() as u64) << (mirroring as u64),
+            );
+            let serial = platform.j7_serial().to_string();
+            let vp = platform.node1();
+            let report = measured_browser_run(
+                vp,
+                &serial,
+                profile.clone(),
+                Region::Local,
+                mirroring,
+                config,
+            );
+            let device = vp.device_handle(&serial).expect("device attached");
+            let (from, to) = report.window;
+            let secs = (to - from).as_secs_f64() as u64;
+            let samples: Vec<f64> = (0..secs)
+                .map(|s| {
+                    device.with_sim(|sim| {
+                        sim.cpu_trace().at(from + SimDuration::from_secs(s)) * 100.0
+                    })
+                })
+                .collect();
+            lines.push(Fig4Line {
+                browser: profile.name.clone(),
+                mirroring,
+                cpu: Cdf::from_samples(&samples),
+            });
+        }
+    }
+    Fig4 { lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig4() -> Fig4 {
+        run(&EvalConfig::quick(17))
+    }
+
+    #[test]
+    fn medians_match_paper() {
+        let f = fig4();
+        let brave = f.line("Brave", false).cpu.median();
+        let chrome = f.line("Chrome", false).cpu.median();
+        assert!((7.0..17.0).contains(&brave), "Brave median {brave}%, paper ≈12%");
+        assert!((14.0..27.0).contains(&chrome), "Chrome median {chrome}%, paper ≈20%");
+        assert!(chrome > brave);
+    }
+
+    #[test]
+    fn mirroring_adds_about_five_points() {
+        let f = fig4();
+        for browser in ["Brave", "Chrome"] {
+            let plain = f.line(browser, false).cpu.median();
+            let mirrored = f.line(browser, true).cpu.median();
+            let delta = mirrored - plain;
+            assert!(
+                (1.5..11.0).contains(&delta),
+                "{browser}: mirroring CPU delta {delta} pts, paper ≈5"
+            );
+        }
+    }
+
+    #[test]
+    fn mirroring_gap_grows_at_high_quantiles() {
+        let f = fig4();
+        let plain = &f.line("Chrome", false).cpu;
+        let mirrored = &f.line("Chrome", true).cpu;
+        let gap_median = mirrored.median() - plain.median();
+        let gap_p90 = mirrored.quantile(0.9) - plain.quantile(0.9);
+        assert!(
+            gap_p90 > gap_median * 0.8,
+            "encoder load should not vanish at the top: {gap_p90} vs {gap_median}"
+        );
+    }
+
+    #[test]
+    fn render_contains_lines() {
+        let text = fig4().render();
+        assert!(text.contains("Brave+mirror"));
+        assert!(text.contains("Chrome"));
+    }
+}

@@ -1,0 +1,25 @@
+//! The evaluation harness: one module per table/figure of the paper's §4,
+//! each running the corresponding experiment end to end on the simulated
+//! platform and rendering the same rows/series the paper reports.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`fig2`] | Fig. 2 — current CDF: direct/relay × mirroring |
+//! | [`fig3`] | Fig. 3 — per-browser discharge (through the job queue) |
+//! | [`fig4`] | Fig. 4 — device CPU CDF, Brave vs Chrome × mirroring |
+//! | [`fig5`] | Fig. 5 — controller CPU CDF × mirroring |
+//! | [`table2`] | Table 2 — VPN speedtest characterisation |
+//! | [`fig6`] | Fig. 6 — Brave/Chrome energy across VPN locations |
+//! | [`sysperf`] | §4.2 prose — CPU/mem/upload/latency numbers |
+
+pub mod common;
+pub mod export;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod sysperf;
+pub mod table2;
+
+pub use common::EvalConfig;

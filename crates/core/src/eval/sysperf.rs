@@ -1,0 +1,157 @@
+//! §4.2 "System Performance": the prose numbers around Figs. 4–5 —
+//! mirroring's extra controller CPU (≈ +50 % on average) and memory
+//! (≈ +6 %), upload traffic (≈32 MB per ~7-minute test at the 1 Mbps
+//! encoder cap), and the click-to-display latency (1.44 ± 0.12 s over 40
+//! co-located trials).
+
+use batterylab_mirror::{colocated_path, LatencyProbe};
+use batterylab_net::Region;
+use batterylab_sim::SimRng;
+use batterylab_stats::Summary;
+use batterylab_workloads::BrowserProfile;
+
+use crate::eval::common::{measured_browser_run, EvalConfig};
+use crate::platform::Platform;
+
+/// The section's measurements.
+pub struct SysPerf {
+    /// Mean controller CPU without mirroring (fraction).
+    pub controller_cpu_plain: f64,
+    /// Mean controller CPU with mirroring (fraction).
+    pub controller_cpu_mirroring: f64,
+    /// Controller memory fraction without mirroring.
+    pub memory_plain: f64,
+    /// Controller memory fraction with mirroring.
+    pub memory_mirroring: f64,
+    /// Mirroring upload bytes over the test.
+    pub upload_bytes: u64,
+    /// Test duration, seconds.
+    pub test_secs: f64,
+    /// Click-to-display latency over the trials (seconds).
+    pub latency: Summary,
+}
+
+impl SysPerf {
+    /// Render the section's numbers.
+    pub fn render(&self) -> String {
+        format!(
+            "System performance (§4.2)\n\
+             controller CPU: {:.0}% plain → {:.0}% mirroring (extra {:.0}%)\n\
+             controller mem: {:.1}% plain → {:.1}% mirroring (extra {:.1}%)\n\
+             mirroring upload: {:.1} MB over {:.1} min\n\
+             click-to-display latency: {:.2} ± {:.2} s (n={})\n",
+            self.controller_cpu_plain * 100.0,
+            self.controller_cpu_mirroring * 100.0,
+            (self.controller_cpu_mirroring - self.controller_cpu_plain) * 100.0,
+            self.memory_plain * 100.0,
+            self.memory_mirroring * 100.0,
+            (self.memory_mirroring - self.memory_plain) * 100.0,
+            self.upload_bytes as f64 / 1e6,
+            self.test_secs / 60.0,
+            self.latency.mean,
+            self.latency.std_dev,
+            self.latency.n,
+        )
+    }
+}
+
+/// Run the system-performance measurements.
+pub fn run(config: &EvalConfig) -> SysPerf {
+    // Plain run.
+    let mut platform = Platform::paper_testbed(config.seed);
+    let serial = platform.j7_serial().to_string();
+    let vp = platform.node1();
+    let memory_plain = vp.memory_fraction();
+    let report = measured_browser_run(
+        vp,
+        &serial,
+        BrowserProfile::chrome(),
+        Region::Local,
+        false,
+        config,
+    );
+    let (f0, t0) = report.window;
+    let plain_samples = vp.controller_cpu_samples(&serial, f0, t0, 1.0).expect("device");
+    let controller_cpu_plain =
+        plain_samples.iter().sum::<f64>() / plain_samples.len().max(1) as f64;
+
+    // Mirrored run (fresh platform, same seed family).
+    let mut platform = Platform::paper_testbed(config.seed + 1);
+    let serial = platform.j7_serial().to_string();
+    let vp = platform.node1();
+    vp.device_mirroring(&serial).expect("mirroring starts");
+    vp.attach_viewer(&serial, "batterylab").expect("viewer joins");
+    let memory_mirroring = vp.memory_fraction();
+    let report = measured_browser_run(
+        vp,
+        &serial,
+        BrowserProfile::chrome(),
+        Region::Local,
+        true,
+        config,
+    );
+    let (f1, t1) = report.window;
+    let mirror_samples = vp.controller_cpu_samples(&serial, f1, t1, 1.0).expect("device");
+    let controller_cpu_mirroring =
+        mirror_samples.iter().sum::<f64>() / mirror_samples.len().max(1) as f64;
+    let upload_bytes = vp.mirror_upload_bytes();
+    let test_secs = (t1 - f1).as_secs_f64();
+    vp.device_mirroring(&serial).expect("mirroring stops");
+
+    // Latency trials, co-located with the vantage point (1 ms RTT).
+    let probe = LatencyProbe::new(colocated_path());
+    let mut rng = SimRng::new(config.seed).derive("latency");
+    let (_, latency) = probe.run_trials(config.latency_trials, &mut rng);
+
+    SysPerf {
+        controller_cpu_plain,
+        controller_cpu_mirroring,
+        memory_plain,
+        memory_mirroring,
+        upload_bytes,
+        test_secs,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sysperf() -> SysPerf {
+        run(&EvalConfig::quick(31))
+    }
+
+    #[test]
+    fn mirroring_extra_cpu_about_half() {
+        let s = sysperf();
+        let extra = s.controller_cpu_mirroring - s.controller_cpu_plain;
+        assert!((0.3..0.8).contains(&extra), "extra controller CPU {extra}, paper ≈0.5");
+    }
+
+    #[test]
+    fn memory_extra_about_six_percent() {
+        let s = sysperf();
+        let extra = s.memory_mirroring - s.memory_plain;
+        assert!((0.03..0.10).contains(&extra), "extra memory {extra}, paper ≈0.06");
+        assert!(s.memory_mirroring < 0.20, "total stays under 20 %");
+    }
+
+    #[test]
+    fn upload_rate_consistent_with_paper() {
+        let s = sysperf();
+        // Paper: 32 MB / ~7 min ≈ 76 kB/s. Scale-invariant check on rate.
+        let rate_kbps = s.upload_bytes as f64 / s.test_secs / 1000.0;
+        assert!(
+            (25.0..125.0).contains(&rate_kbps),
+            "upload {rate_kbps:.0} kB/s vs paper's ≈76 kB/s"
+        );
+    }
+
+    #[test]
+    fn latency_matches_section() {
+        let s = sysperf();
+        assert!((1.25..1.65).contains(&s.latency.mean), "mean {}", s.latency.mean);
+        assert!((0.03..0.30).contains(&s.latency.std_dev), "std {}", s.latency.std_dev);
+    }
+}

@@ -1,0 +1,124 @@
+//! Platform assembly: spin up an access server plus vantage points, the
+//! way the paper's deployment looks (one node at Imperial College with a
+//! Monsoon, a Samsung J7 Duo, a Raspberry Pi 3B+ and a Meross socket).
+
+use batterylab_controller::{VantageConfig, VantagePoint};
+use batterylab_device::{boot_j7_duo, AndroidDevice};
+use batterylab_server::{AccessServer, Role};
+use batterylab_sim::{SimRng, SimTime};
+use batterylab_workloads::BrowserProfile;
+
+/// A fully assembled BatteryLab deployment.
+pub struct Platform {
+    /// The cloud access server with every node enrolled.
+    pub server: AccessServer,
+    /// Console token of the bootstrap admin.
+    pub admin_token: u64,
+    /// Console token of the default experimenter (`alice`).
+    pub experimenter_token: u64,
+    /// Root RNG for deriving experiment streams.
+    pub rng: SimRng,
+}
+
+/// Ports every §3.4-compliant controller exposes.
+pub const NODE_PORTS: [u16; 3] = [2222, 8080, 6081];
+
+impl Platform {
+    /// The paper's testbed: one vantage point (`node1`, Imperial College)
+    /// with one J7 Duo that has the four §4.2 browsers installed.
+    pub fn paper_testbed(seed: u64) -> Platform {
+        let rng = SimRng::new(seed);
+        let mut server = AccessServer::new("52.1.2.3", "admin", "bootstrap-pw");
+        let admin_token = server
+            .login("admin", "bootstrap-pw", true)
+            .expect("bootstrap admin")
+            .token;
+        server
+            .auth_mut()
+            .add_user("alice", "alice-pw", Role::Experimenter)
+            .expect("fresh directory");
+        let experimenter_token = server
+            .login("alice", "alice-pw", true)
+            .expect("experimenter login")
+            .token;
+
+        let mut vp = VantagePoint::new(VantageConfig::imperial_college(), rng.derive("node1"));
+        let device = boot_j7_duo(&rng, "j7duo-0001");
+        for profile in BrowserProfile::all_four() {
+            device.install_package(&profile.package);
+        }
+        vp.add_device(device);
+        server
+            .enroll_node(
+                admin_token,
+                vp,
+                "155.198.1.10",
+                "hk:node1",
+                &NODE_PORTS,
+                SimTime::ZERO,
+            )
+            .expect("enrolment");
+
+        Platform {
+            server,
+            admin_token,
+            experimenter_token,
+            rng,
+        }
+    }
+
+    /// The single node of the paper testbed.
+    pub fn node1(&mut self) -> &mut VantagePoint {
+        self.server.node_mut("node1").expect("node1 enrolled")
+    }
+
+    /// The J7 Duo's serial at node1.
+    pub fn j7_serial(&self) -> &'static str {
+        "j7duo-0001"
+    }
+
+    /// Handle to the J7 Duo.
+    pub fn j7(&mut self) -> AndroidDevice {
+        self.node1()
+            .device_handle("j7duo-0001")
+            .expect("device attached")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_assembles() {
+        let mut p = Platform::paper_testbed(1);
+        assert_eq!(p.server.node_names(), vec!["node1"]);
+        assert_eq!(p.node1().list_devices(), vec!["j7duo-0001"]);
+        assert_eq!(
+            p.server.registry().resolve("node1.batterylab.dev").unwrap(),
+            "155.198.1.10"
+        );
+    }
+
+    #[test]
+    fn browsers_preinstalled() {
+        let mut p = Platform::paper_testbed(2);
+        let serial = p.j7_serial().to_string();
+        let out = p.node1().execute_adb(&serial, "pm list packages").unwrap();
+        for pkg in [
+            "com.brave.browser",
+            "com.android.chrome",
+            "com.microsoft.emmx",
+            "org.mozilla.firefox",
+        ] {
+            assert!(out.contains(pkg), "missing {pkg}");
+        }
+    }
+
+    #[test]
+    fn deterministic_assembly() {
+        let a = Platform::paper_testbed(7).rng.seed();
+        let b = Platform::paper_testbed(7).rng.seed();
+        assert_eq!(a, b);
+    }
+}

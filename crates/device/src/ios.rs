@@ -1,0 +1,234 @@
+//! iOS test devices (§5 / §3.3: "we discussed iOS solutions which we
+//! soon plan to experiment with").
+//!
+//! The iOS story differs from Android in exactly the ways the paper
+//! spells out:
+//!
+//! * **no ADB** — automation is XCTest (needs app source) or the
+//!   Bluetooth keyboard; there is no shell channel;
+//! * **mirroring** is AirPlay, not scrcpy, "combined with (virtual)
+//!   keyboard keys" for control (§3.2);
+//! * batteries are **not removable** — hooking the relay requires a
+//!   (partial) teardown, which the vantage point must acknowledge.
+//!
+//! The power/trace machinery is shared with Android through
+//! [`DeviceSim`]; only the OS faces differ.
+
+use std::sync::Arc;
+
+use batterylab_power::CurrentSource;
+use batterylab_sim::{SimDuration, SimRng, SimTime};
+use parking_lot::Mutex;
+
+use crate::sim::DeviceSim;
+use crate::state::DeviceSpec;
+
+/// Anything the Bluetooth HID keyboard (and other OS-agnostic drivers)
+/// can type at. Implemented by both Android and iOS devices.
+pub trait KeyTarget: Clone + Send {
+    /// Stable device identifier (ADB serial / iOS UDID).
+    fn device_id(&self) -> String;
+    /// Run `f` against the underlying simulator.
+    fn with_device_sim<R>(&self, f: impl FnOnce(&mut DeviceSim) -> R) -> R;
+    /// Make an app launchable (the launcher/springboard knows it).
+    fn register_app(&self, app: &str);
+    /// Whether `app` is launchable.
+    fn has_app(&self, app: &str) -> bool;
+}
+
+struct IosInner {
+    sim: DeviceSim,
+    apps: Vec<String>,
+    foreground: Option<String>,
+    udid: String,
+}
+
+/// A simulated iOS device.
+#[derive(Clone)]
+pub struct IosDevice {
+    inner: Arc<Mutex<IosInner>>,
+}
+
+impl IosDevice {
+    /// Boot an iOS device from `spec` with the given UDID.
+    pub fn new(spec: DeviceSpec, udid: &str, rng: SimRng) -> Self {
+        IosDevice {
+            inner: Arc::new(Mutex::new(IosInner {
+                sim: DeviceSim::new(spec, rng),
+                apps: vec!["com.apple.mobilesafari".to_string()],
+                foreground: None,
+                udid: udid.to_string(),
+            })),
+        }
+    }
+
+    /// The device UDID.
+    pub fn udid(&self) -> String {
+        self.inner.lock().udid.clone()
+    }
+
+    /// Run `f` with the simulator.
+    pub fn with_sim<R>(&self, f: impl FnOnce(&mut DeviceSim) -> R) -> R {
+        f(&mut self.inner.lock().sim)
+    }
+
+    /// Static spec.
+    pub fn spec(&self) -> DeviceSpec {
+        self.inner.lock().sim.spec().clone()
+    }
+
+    /// Install an app (TestFlight / enterprise signing).
+    pub fn install_app(&self, bundle_id: &str) {
+        let mut inner = self.inner.lock();
+        if !inner.apps.iter().any(|a| a == bundle_id) {
+            inner.apps.push(bundle_id.to_string());
+        }
+    }
+
+    /// Foreground app, if any.
+    pub fn foreground(&self) -> Option<String> {
+        self.inner.lock().foreground.clone()
+    }
+
+    /// Launch `bundle_id` (Springboard). Errors if not installed.
+    pub fn launch_app(&self, bundle_id: &str) -> Result<(), String> {
+        let mut inner = self.inner.lock();
+        if !inner.apps.iter().any(|a| a == bundle_id) {
+            return Err(format!("FBSOpenApplicationError: {bundle_id} not installed"));
+        }
+        inner.foreground = Some(bundle_id.to_string());
+        inner.sim.set_screen(true);
+        inner.sim.run_activity(SimDuration::from_millis(1100), 0.42, 0.7);
+        Ok(())
+    }
+}
+
+impl CurrentSource for IosDevice {
+    fn current_ma(&self, t: SimTime, supply_v: f64) -> f64 {
+        let inner = self.inner.lock();
+        let nominal = inner.sim.nominal_v();
+        inner.sim.current_trace().at(t) * nominal / supply_v.max(1e-6)
+    }
+}
+
+impl KeyTarget for IosDevice {
+    fn device_id(&self) -> String {
+        self.udid()
+    }
+
+    fn with_device_sim<R>(&self, f: impl FnOnce(&mut DeviceSim) -> R) -> R {
+        self.with_sim(f)
+    }
+
+    fn register_app(&self, app: &str) {
+        self.install_app(app);
+        let mut inner = self.inner.lock();
+        inner.foreground = Some(app.to_string());
+    }
+
+    fn has_app(&self, app: &str) -> bool {
+        self.inner.lock().apps.iter().any(|a| a == app)
+    }
+}
+
+impl KeyTarget for crate::android::AndroidDevice {
+    fn device_id(&self) -> String {
+        self.serial()
+    }
+
+    fn with_device_sim<R>(&self, f: impl FnOnce(&mut DeviceSim) -> R) -> R {
+        self.with_sim(f)
+    }
+
+    fn register_app(&self, app: &str) {
+        self.install_package(app);
+    }
+
+    fn has_app(&self, app: &str) -> bool {
+        self.foreground().as_deref() == Some(app) || {
+            // Check the package list through the PM.
+            use batterylab_adb::DeviceServices;
+            let mut d = self.clone();
+            d.exec("shell:pm list packages")
+                .map(|out| String::from_utf8_lossy(&out).contains(app))
+                .unwrap_or(false)
+        }
+    }
+}
+
+/// An iPhone 7 class device. `api_level` is an Android concept gating
+/// scrcpy; AirPlay has no such gate, so the spec carries a high sentinel
+/// (the mirroring capability check is effectively always true on iOS).
+/// The battery is not removable — relay hookup needs a teardown.
+pub fn iphone_7(rng: &SimRng, udid: &str) -> IosDevice {
+    IosDevice::new(
+        DeviceSpec {
+            model: "iPhone 7".to_string(),
+            product: "iPhone9,1".to_string(),
+            api_level: 112,
+            rooted: false,
+            cpu_cores: 4,
+            battery_mah: 1960.0,
+            wifi_tail: SimDuration::from_millis(200),
+            cellular_tail: SimDuration::from_secs(4),
+        },
+        udid,
+        rng.derive(&format!("ios/{udid}")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iphone() -> IosDevice {
+        iphone_7(&SimRng::new(1), "00008030-000C")
+    }
+
+    #[test]
+    fn launch_requires_install() {
+        let d = iphone();
+        assert!(d.launch_app("com.brave.ios.browser").is_err());
+        d.install_app("com.brave.ios.browser");
+        d.launch_app("com.brave.ios.browser").unwrap();
+        assert_eq!(d.foreground().as_deref(), Some("com.brave.ios.browser"));
+    }
+
+    #[test]
+    fn safari_preinstalled() {
+        let d = iphone();
+        assert!(d.has_app("com.apple.mobilesafari"));
+        d.launch_app("com.apple.mobilesafari").unwrap();
+    }
+
+    #[test]
+    fn draws_current_like_any_load() {
+        let d = iphone();
+        d.with_sim(|s| {
+            s.set_screen(true);
+            s.play_video(SimDuration::from_secs(5));
+        });
+        let mid = d.with_sim(|s| s.now()) - SimDuration::from_secs(2);
+        let ma = d.current_ma(mid, 4.0);
+        assert!((120.0..260.0).contains(&ma), "{ma} mA");
+    }
+
+    #[test]
+    fn key_target_face() {
+        let d = iphone();
+        assert_eq!(d.device_id(), "00008030-000C");
+        d.register_app("org.mozilla.ios.Firefox");
+        assert!(d.has_app("org.mozilla.ios.Firefox"));
+        let t0 = d.with_device_sim(|s| s.now());
+        d.with_device_sim(|s| s.idle(SimDuration::from_secs(1)));
+        assert!(d.with_device_sim(|s| s.now()) > t0);
+    }
+
+    #[test]
+    fn battery_not_removable_class() {
+        // The spec carries the §3.2 constraint: complex setups needed.
+        let d = iphone();
+        assert!(d.spec().battery_mah < 2500.0);
+        assert!(!d.spec().rooted);
+    }
+}

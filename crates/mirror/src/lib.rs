@@ -1,0 +1,24 @@
+//! # batterylab-mirror
+//!
+//! Device mirroring (§3.2): the scrcpy-style capture/encoder bound to a
+//! simulated device ([`ScrcpyCapture`]), the controller's VNC server and
+//! noVNC WebSocket gateway ([`VncServer`]), the combined [`MirrorSession`]
+//! with upload-byte accounting, and the click-to-display [`LatencyProbe`]
+//! that reproduces §4.2's 1.44 ± 0.12 s measurement.
+
+#![warn(missing_docs)]
+
+mod airplay;
+mod encoder;
+mod latency;
+mod session;
+mod vnc;
+
+pub use airplay::{AirPlayConfig, AirPlayError, AirPlayMirror};
+pub use encoder::{EncoderConfig, EncoderError, ScrcpyCapture};
+pub use latency::{colocated_path, LatencyModel, LatencyProbe, LatencyTrial};
+pub use session::{MirrorSession, SessionError};
+pub use vnc::{
+    framebuffer_update, websocket_wrap, RfbSecurity, VncError, VncServer, ViewerId,
+    NOVNC_COMPRESSION, RFB_VERSION,
+};

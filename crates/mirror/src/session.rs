@@ -1,0 +1,211 @@
+//! A device-mirroring session: scrcpy capture on the device, VNC/noVNC
+//! fan-out on the controller, byte accounting for the §4.2 system-
+//! performance numbers.
+
+use batterylab_device::AndroidDevice;
+use batterylab_sim::SimTime;
+
+use crate::encoder::{EncoderConfig, EncoderError, ScrcpyCapture};
+use crate::vnc::{VncError, VncServer, ViewerId, RFB_VERSION};
+
+/// Errors from session orchestration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionError {
+    /// Encoder-side failure.
+    Encoder(EncoderError),
+    /// VNC-side failure.
+    Vnc(VncError),
+}
+
+impl From<EncoderError> for SessionError {
+    fn from(e: EncoderError) -> Self {
+        SessionError::Encoder(e)
+    }
+}
+
+impl From<VncError> for SessionError {
+    fn from(e: VncError) -> Self {
+        SessionError::Vnc(e)
+    }
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Encoder(e) => write!(f, "encoder: {e}"),
+            SessionError::Vnc(e) => write!(f, "vnc: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A full mirroring session for one device.
+pub struct MirrorSession {
+    capture: ScrcpyCapture,
+    vnc: VncServer,
+    device: AndroidDevice,
+    /// Wire bytes pushed to viewers (the vantage point's upload traffic).
+    uploaded: u64,
+    started_at: Option<SimTime>,
+}
+
+impl MirrorSession {
+    /// Create a (stopped) session for `device`; viewers authenticate with
+    /// `password`. Sessions are shared: experimenter + tester (§3).
+    pub fn new(device: AndroidDevice, config: EncoderConfig, password: &str) -> Self {
+        MirrorSession {
+            capture: ScrcpyCapture::new(device.clone(), config),
+            vnc: VncServer::new(password, true),
+            device,
+            uploaded: 0,
+            started_at: None,
+        }
+    }
+
+    /// Start capturing (arms the device-side encoder).
+    pub fn start(&mut self) -> Result<(), SessionError> {
+        self.capture.start()?;
+        self.started_at = Some(self.device.with_sim(|s| s.now()));
+        Ok(())
+    }
+
+    /// Stop capturing. Returns the raw encoded bytes produced.
+    pub fn stop(&mut self) -> Result<u64, SessionError> {
+        let total = self.capture.stop()?;
+        self.started_at = None;
+        Ok(total)
+    }
+
+    /// Whether the session is live.
+    pub fn is_active(&self) -> bool {
+        self.started_at.is_some()
+    }
+
+    /// Connect a viewer (noVNC browser tab).
+    pub fn attach_viewer(&mut self, password: &str) -> Result<ViewerId, SessionError> {
+        Ok(self.vnc.handshake(RFB_VERSION, password)?)
+    }
+
+    /// Disconnect a viewer.
+    pub fn detach_viewer(&mut self, viewer: ViewerId) {
+        self.vnc.disconnect(viewer);
+    }
+
+    /// Number of connected viewers.
+    pub fn viewer_count(&self) -> usize {
+        self.vnc.viewer_count()
+    }
+
+    /// Pump encoded bytes up to the device's current instant and push them
+    /// to viewers. Call periodically while a workload runs. Returns the
+    /// raw encoder bytes moved this pump.
+    pub fn pump(&mut self) -> Result<u64, SessionError> {
+        let now = self.device.with_sim(|s| s.now());
+        let produced = self.capture.produce_until(now)?;
+        if produced > 0 && self.vnc.viewer_count() > 0 {
+            let before = self.vnc.bytes_sent();
+            // One frame batch per pump; VNC framing + noVNC compression.
+            let chunk = vec![0u8; (produced as usize).min(16 * 1024 * 1024)];
+            self.vnc.send_frame(&chunk)?;
+            self.uploaded += self.vnc.bytes_sent() - before;
+        }
+        Ok(produced)
+    }
+
+    /// Raw encoder bytes since session start.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.capture.total_bytes()
+    }
+
+    /// Wire bytes uploaded to viewers (post noVNC compression).
+    pub fn uploaded_bytes(&self) -> u64 {
+        self.uploaded
+    }
+
+    /// Controller CPU load contribution of this session at frame-change
+    /// level `change` (0–1): stream handling + VNC re-framing + websocket
+    /// compression scale with how much screen content moves.
+    pub fn controller_load(change: f64) -> f64 {
+        (0.31 + 0.54 * change.clamp(0.0, 1.0)).min(1.0)
+    }
+
+    /// The mirrored device.
+    pub fn device(&self) -> &AndroidDevice {
+        &self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batterylab_device::boot_j7_duo;
+    use batterylab_sim::{SimDuration, SimRng};
+
+    fn session() -> (AndroidDevice, MirrorSession) {
+        let d = boot_j7_duo(&SimRng::new(3), "mirror-dev");
+        let s = MirrorSession::new(d.clone(), EncoderConfig::default(), "blab");
+        (d, s)
+    }
+
+    #[test]
+    fn full_session_lifecycle() {
+        let (d, mut s) = session();
+        s.start().unwrap();
+        assert!(s.is_active());
+        let viewer = s.attach_viewer("blab").unwrap();
+        d.with_sim(|sim| {
+            sim.set_screen(true);
+            sim.play_video(SimDuration::from_secs(30));
+        });
+        let produced = s.pump().unwrap();
+        assert!(produced > 0);
+        assert!(s.uploaded_bytes() > 0);
+        // noVNC compression: wire < raw + framing.
+        assert!(s.uploaded_bytes() < produced + 1024);
+        s.detach_viewer(viewer);
+        let total = s.stop().unwrap();
+        assert!(total >= produced);
+        assert!(!s.is_active());
+    }
+
+    #[test]
+    fn wrong_viewer_password() {
+        let (_, mut s) = session();
+        assert!(matches!(
+            s.attach_viewer("nope"),
+            Err(SessionError::Vnc(VncError::AuthFailed))
+        ));
+    }
+
+    #[test]
+    fn pump_without_viewers_still_encodes() {
+        let (d, mut s) = session();
+        s.start().unwrap();
+        d.with_sim(|sim| {
+            sim.set_screen(true);
+            sim.play_video(SimDuration::from_secs(5));
+        });
+        let produced = s.pump().unwrap();
+        assert!(produced > 0);
+        assert_eq!(s.uploaded_bytes(), 0, "no viewer, nothing on the wire");
+    }
+
+    #[test]
+    fn controller_load_scales_with_change() {
+        let idle = MirrorSession::controller_load(0.05);
+        let busy = MirrorSession::controller_load(0.8);
+        assert!(busy > idle + 0.3);
+        assert!(busy <= 1.0);
+        assert!(MirrorSession::controller_load(5.0) <= 1.0);
+    }
+
+    #[test]
+    fn experimenter_and_tester_can_share() {
+        let (_, mut s) = session();
+        s.start().unwrap();
+        s.attach_viewer("blab").unwrap();
+        s.attach_viewer("blab").unwrap();
+        assert_eq!(s.viewer_count(), 2);
+    }
+}

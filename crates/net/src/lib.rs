@@ -1,0 +1,74 @@
+//! # batterylab-net
+//!
+//! Network substrate for BatteryLab: link/path profiles, a TCP-flavoured
+//! transfer-time model, VPN tunnel emulation with the paper's five
+//! ProtonVPN exits (Table 2), a SpeedTest client, and the regional content
+//! catalog behind the §4.3 findings.
+//!
+//! The paper's evaluation needs flows characterised by *time and bytes*,
+//! not packets; this crate provides exactly that, deterministically.
+
+#![warn(missing_docs)]
+
+mod content;
+mod link;
+mod speedtest;
+mod transfer;
+mod vpn;
+
+pub use content::{Region, RegionalContent};
+pub use link::LinkProfile;
+pub use speedtest::{table2, SpeedtestClient, SpeedtestResult};
+pub use transfer::{Direction, TransferModel, TransferOutcome};
+pub use vpn::{VpnClient, VpnError, VpnLocation};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use batterylab_sim::SimRng;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn transfer_time_monotonic_in_bytes(b1 in 0u64..50_000_000, b2 in 0u64..50_000_000) {
+            let m = TransferModel::new(LinkProfile::fast_wifi());
+            let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+            prop_assert!(m.transfer(lo, Direction::Down).duration <= m.transfer(hi, Direction::Down).duration);
+        }
+
+        #[test]
+        fn transfer_never_beats_line_rate(bytes in 1u64..50_000_000,
+                                          down in 1.0f64..200.0,
+                                          rtt in 1.0f64..300.0) {
+            let m = TransferModel::new(LinkProfile::new(down, down, rtt, 0.0));
+            let out = m.transfer(bytes, Direction::Down);
+            let ideal = bytes as f64 * 8.0 / (down * 1e6);
+            prop_assert!(out.duration.as_secs_f64() >= ideal * 0.999,
+                         "faster than the wire: {} < {}", out.duration.as_secs_f64(), ideal);
+            prop_assert!(out.goodput_mbps <= down * 1.001);
+        }
+
+        #[test]
+        fn chained_path_never_faster_than_either_hop(d1 in 1.0f64..100.0, d2 in 1.0f64..100.0,
+                                                     r1 in 0.0f64..100.0, r2 in 0.0f64..300.0,
+                                                     l1 in 0.0f64..0.1, l2 in 0.0f64..0.1) {
+            let a = LinkProfile::new(d1, d1, r1, l1);
+            let b = LinkProfile::new(d2, d2, r2, l2);
+            let c = a.chain(&b);
+            prop_assert!(c.down_mbps <= d1.min(d2));
+            prop_assert!(c.rtt_ms >= r1.max(r2));
+            prop_assert!(c.loss >= l1.max(l2) - 1e-12);
+            prop_assert!(c.loss < 1.0);
+        }
+
+        #[test]
+        fn speedtest_never_reports_more_than_wire(down in 2.0f64..50.0, up in 2.0f64..50.0, seed in 0u64..500) {
+            let path = LinkProfile::new(down, up, 50.0, 0.0);
+            let client = SpeedtestClient::new(path);
+            let mut rng = SimRng::new(seed).derive("st");
+            let r = client.run("x", 1.0, &mut rng);
+            prop_assert!(r.down_mbps <= down * 1.06);
+            prop_assert!(r.up_mbps <= up * 1.06);
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Monsoon HV power-monitor simulator.
+//!
+//! The Monsoon High Voltage Power Monitor supplies a programmable voltage
+//! (0.8–13.5 V, up to 6 A continuous) and samples the delivered current at
+//! 5 kHz. BatteryLab drives it through its Python API; this module is that
+//! control surface over a simulated instrument, with the imperfections a
+//! real meter has: calibration gain/offset error, ADC quantisation and a
+//! noise floor.
+//!
+//! The controller toggles the instrument's mains power through a WiFi
+//! power socket (see [`crate::socket`]) — the paper keeps the meter off
+//! when idle "for safety reasons".
+
+use batterylab_sim::{SimRng, SimTime, TimeSeries};
+use batterylab_stats::EnergyAccumulator;
+use serde::{Deserialize, Serialize};
+
+use crate::source::CurrentSource;
+
+/// Native sampling rate of the Monsoon HV, Hz.
+pub const MONSOON_RATE_HZ: f64 = 5000.0;
+/// Programmable output voltage range, volts.
+pub const VOLTAGE_RANGE: (f64, f64) = (0.8, 13.5);
+/// Continuous current limit, mA.
+pub const MAX_CONTINUOUS_MA: f64 = 6000.0;
+
+/// Errors raised by the instrument.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MonsoonError {
+    /// Mains power is off (the WiFi socket has not enabled it).
+    PoweredOff,
+    /// Requested voltage is outside 0.8–13.5 V.
+    VoltageOutOfRange(f64),
+    /// Output current exceeded the 6 A continuous limit; the instrument
+    /// tripped its protection during a run.
+    OverCurrent {
+        /// When the trip occurred.
+        at: SimTime,
+        /// The offending current, mA.
+        current_ma: f64,
+    },
+    /// Operation requires Vout enabled.
+    OutputDisabled,
+}
+
+impl std::fmt::Display for MonsoonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonsoonError::PoweredOff => write!(f, "monsoon is powered off"),
+            MonsoonError::VoltageOutOfRange(v) => {
+                write!(f, "voltage {v} V outside {:?}", VOLTAGE_RANGE)
+            }
+            MonsoonError::OverCurrent { at, current_ma } => {
+                write!(f, "over-current {current_ma:.0} mA at {at}")
+            }
+            MonsoonError::OutputDisabled => write!(f, "Vout is disabled"),
+        }
+    }
+}
+
+impl std::error::Error for MonsoonError {}
+
+/// Result of a sampling run.
+#[derive(Clone, Debug)]
+pub struct SampleRun {
+    /// The raw 5 kHz current samples, mA.
+    pub samples: TimeSeries,
+    /// Streamed aggregates (what the controller keeps for long runs).
+    pub energy: EnergyAccumulator,
+    /// Voltage the run was performed at.
+    pub voltage_v: f64,
+}
+
+/// Calibration and noise characteristics of an individual instrument.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Multiplicative gain error (1.0 = perfect).
+    pub gain: f64,
+    /// Additive offset, mA.
+    pub offset_ma: f64,
+    /// Gaussian noise floor, mA RMS per sample.
+    pub noise_ma: f64,
+    /// ADC step, mA (readings quantise to this).
+    pub lsb_ma: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        // A healthy, factory-calibrated HV unit.
+        Calibration {
+            gain: 1.0005,
+            offset_ma: 0.03,
+            noise_ma: 0.25,
+            lsb_ma: 0.02,
+        }
+    }
+}
+
+/// The simulated instrument.
+pub struct Monsoon {
+    powered: bool,
+    vout_enabled: bool,
+    voltage_v: f64,
+    calibration: Calibration,
+    rng: SimRng,
+    total_samples: u64,
+}
+
+impl Monsoon {
+    /// A powered-off instrument with default calibration. `rng` should be
+    /// derived from the experiment seed (label `"monsoon"`).
+    pub fn new(rng: SimRng) -> Self {
+        Monsoon {
+            powered: false,
+            vout_enabled: false,
+            voltage_v: 4.0,
+            calibration: Calibration::default(),
+            rng,
+            total_samples: 0,
+        }
+    }
+
+    /// Replace the calibration (fault-injection tests use this).
+    pub fn with_calibration(mut self, cal: Calibration) -> Self {
+        self.calibration = cal;
+        self
+    }
+
+    /// Mains power state.
+    pub fn is_powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Apply/remove mains power (driven by the WiFi socket). Removing
+    /// power drops Vout.
+    pub fn set_powered(&mut self, on: bool) {
+        self.powered = on;
+        if !on {
+            self.vout_enabled = false;
+        }
+    }
+
+    /// Program the output voltage.
+    pub fn set_voltage(&mut self, volts: f64) -> Result<(), MonsoonError> {
+        if !self.powered {
+            return Err(MonsoonError::PoweredOff);
+        }
+        if !(VOLTAGE_RANGE.0..=VOLTAGE_RANGE.1).contains(&volts) {
+            return Err(MonsoonError::VoltageOutOfRange(volts));
+        }
+        self.voltage_v = volts;
+        Ok(())
+    }
+
+    /// Programmed output voltage.
+    pub fn voltage(&self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Enable the main output channel.
+    pub fn enable_vout(&mut self) -> Result<(), MonsoonError> {
+        if !self.powered {
+            return Err(MonsoonError::PoweredOff);
+        }
+        self.vout_enabled = true;
+        Ok(())
+    }
+
+    /// Disable the main output channel.
+    pub fn disable_vout(&mut self) {
+        self.vout_enabled = false;
+    }
+
+    /// Whether Vout is live.
+    pub fn vout_enabled(&self) -> bool {
+        self.vout_enabled
+    }
+
+    /// Lifetime sample count (diagnostics).
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Take one calibrated reading of `load` at `t`.
+    fn read_once(&mut self, load: &dyn CurrentSource, t: SimTime) -> Result<f64, MonsoonError> {
+        let true_ma = load.current_ma(t, self.voltage_v);
+        if true_ma > MAX_CONTINUOUS_MA {
+            return Err(MonsoonError::OverCurrent {
+                at: t,
+                current_ma: true_ma,
+            });
+        }
+        let cal = self.calibration;
+        let noisy = true_ma * cal.gain + cal.offset_ma + self.rng.normal(0.0, cal.noise_ma);
+        // ADC quantisation; currents cannot read negative on the HV's
+        // unidirectional main channel.
+        let quantised = (noisy / cal.lsb_ma).round() * cal.lsb_ma;
+        Ok(quantised.max(0.0))
+    }
+
+    /// Sample `load` at the native 5 kHz for `duration_s` seconds starting
+    /// at `start`. Returns the full trace plus streaming aggregates.
+    ///
+    /// An over-current trips protection mid-run and aborts with an error,
+    /// like the real instrument.
+    pub fn sample_run(
+        &mut self,
+        load: &dyn CurrentSource,
+        start: SimTime,
+        duration_s: f64,
+    ) -> Result<SampleRun, MonsoonError> {
+        self.sample_run_at_rate(load, start, duration_s, MONSOON_RATE_HZ)
+    }
+
+    /// As [`Self::sample_run`] but at a caller-chosen rate — long browser
+    /// experiments use a decimated rate to bound memory, exactly like the
+    /// controller's streaming mode.
+    pub fn sample_run_at_rate(
+        &mut self,
+        load: &dyn CurrentSource,
+        start: SimTime,
+        duration_s: f64,
+        rate_hz: f64,
+    ) -> Result<SampleRun, MonsoonError> {
+        if !self.powered {
+            return Err(MonsoonError::PoweredOff);
+        }
+        if !self.vout_enabled {
+            return Err(MonsoonError::OutputDisabled);
+        }
+        assert!(duration_s > 0.0, "sampling duration must be positive");
+        assert!(rate_hz > 0.0 && rate_hz <= MONSOON_RATE_HZ, "rate 0..=5000 Hz");
+        let n = (duration_s * rate_hz).round() as u64;
+        let period_us = (1e6 / rate_hz).round() as u64;
+        let mut samples = TimeSeries::with_capacity(n as usize);
+        let mut energy = EnergyAccumulator::new(rate_hz);
+        for i in 0..n {
+            let t = SimTime::from_micros(start.as_micros() + i * period_us);
+            let ma = self.read_once(load, t)?;
+            samples.push(t, ma);
+            energy.push(ma, self.voltage_v);
+            self.total_samples += 1;
+        }
+        Ok(SampleRun {
+            samples,
+            energy,
+            voltage_v: self.voltage_v,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{ConstantLoad, OpenCircuit};
+    use batterylab_stats::Summary;
+
+    fn powered_monsoon(seed: u64) -> Monsoon {
+        let mut m = Monsoon::new(SimRng::new(seed).derive("monsoon"));
+        m.set_powered(true);
+        m.set_voltage(4.0).unwrap();
+        m.enable_vout().unwrap();
+        m
+    }
+
+    #[test]
+    fn requires_power_and_vout() {
+        let mut m = Monsoon::new(SimRng::new(1).derive("monsoon"));
+        assert_eq!(m.set_voltage(4.0), Err(MonsoonError::PoweredOff));
+        m.set_powered(true);
+        m.set_voltage(4.0).unwrap();
+        let err = m
+            .sample_run(&OpenCircuit, SimTime::ZERO, 0.01)
+            .unwrap_err();
+        assert_eq!(err, MonsoonError::OutputDisabled);
+        m.enable_vout().unwrap();
+        assert!(m.sample_run(&OpenCircuit, SimTime::ZERO, 0.01).is_ok());
+    }
+
+    #[test]
+    fn voltage_range_enforced() {
+        let mut m = Monsoon::new(SimRng::new(1).derive("monsoon"));
+        m.set_powered(true);
+        assert!(matches!(m.set_voltage(0.5), Err(MonsoonError::VoltageOutOfRange(_))));
+        assert!(matches!(m.set_voltage(14.0), Err(MonsoonError::VoltageOutOfRange(_))));
+        assert!(m.set_voltage(0.8).is_ok());
+        assert!(m.set_voltage(13.5).is_ok());
+    }
+
+    #[test]
+    fn five_khz_sample_count() {
+        let mut m = powered_monsoon(2);
+        let run = m.sample_run(&ConstantLoad::new(100.0, 4.0), SimTime::ZERO, 1.0).unwrap();
+        assert_eq!(run.samples.len(), 5000);
+        assert_eq!(run.energy.samples(), 5000);
+    }
+
+    #[test]
+    fn reading_accuracy_within_spec() {
+        let mut m = powered_monsoon(3);
+        let run = m.sample_run(&ConstantLoad::new(160.0, 4.0), SimTime::ZERO, 2.0).unwrap();
+        let s = Summary::of(run.samples.values());
+        // Gain 1.0005 + offset 0.03 on 160 mA → ~160.11; noise averages out.
+        assert!((s.mean - 160.0).abs() < 0.5, "mean {}", s.mean);
+        assert!(s.std_dev < 0.5, "noise floor too high: {}", s.std_dev);
+    }
+
+    #[test]
+    fn energy_integration_matches_mean() {
+        let mut m = powered_monsoon(4);
+        let run = m.sample_run(&ConstantLoad::new(300.0, 4.0), SimTime::ZERO, 1.0).unwrap();
+        // 300 mA for 1 s = 300/3600 mAh.
+        assert!((run.energy.mah() - 300.0 / 3600.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn over_current_trips() {
+        let mut m = powered_monsoon(5);
+        let err = m
+            .sample_run(&ConstantLoad::new(7000.0, 4.0), SimTime::ZERO, 0.1)
+            .unwrap_err();
+        assert!(matches!(err, MonsoonError::OverCurrent { .. }));
+    }
+
+    #[test]
+    fn power_cycle_drops_vout() {
+        let mut m = powered_monsoon(6);
+        assert!(m.vout_enabled());
+        m.set_powered(false);
+        assert!(!m.vout_enabled());
+        assert_eq!(
+            m.sample_run(&OpenCircuit, SimTime::ZERO, 0.01).unwrap_err(),
+            MonsoonError::PoweredOff
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run1 = powered_monsoon(7)
+            .sample_run(&ConstantLoad::new(50.0, 4.0), SimTime::ZERO, 0.1)
+            .unwrap();
+        let run2 = powered_monsoon(7)
+            .sample_run(&ConstantLoad::new(50.0, 4.0), SimTime::ZERO, 0.1)
+            .unwrap();
+        assert_eq!(run1.samples.values(), run2.samples.values());
+    }
+
+    #[test]
+    fn decimated_rate_bounds_memory() {
+        let mut m = powered_monsoon(8);
+        let run = m
+            .sample_run_at_rate(&ConstantLoad::new(100.0, 4.0), SimTime::ZERO, 10.0, 50.0)
+            .unwrap();
+        assert_eq!(run.samples.len(), 500);
+    }
+
+    #[test]
+    fn readings_quantised_to_lsb() {
+        let mut m = powered_monsoon(9);
+        let run = m.sample_run(&ConstantLoad::new(100.0, 4.0), SimTime::ZERO, 0.01).unwrap();
+        for &v in run.samples.values() {
+            let steps = v / 0.02;
+            assert!((steps - steps.round()).abs() < 1e-6, "not quantised: {v}");
+        }
+    }
+
+    #[test]
+    fn open_circuit_reads_near_zero() {
+        let mut m = powered_monsoon(10);
+        let run = m.sample_run(&OpenCircuit, SimTime::ZERO, 0.5).unwrap();
+        let s = Summary::of(run.samples.values());
+        assert!(s.mean < 0.5, "open circuit should read ~0, got {}", s.mean);
+    }
+}

@@ -1,0 +1,166 @@
+//! WiFi smart power socket (Meross-style).
+//!
+//! The controller cannot leave the Monsoon energised around the clock —
+//! the paper keeps it powered only when an experiment needs it ("for
+//! safety reasons") and drives a Meross WiFi socket through its LAN API.
+//! This is that socket: a small stateful appliance with the Meross
+//! `togglex` semantics, reachability faults, and an actuation counter the
+//! maintenance jobs can audit.
+
+use batterylab_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Errors from the socket's LAN API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SocketError {
+    /// The socket did not answer (WiFi trouble) — commands may be retried.
+    Unreachable,
+}
+
+impl std::fmt::Display for SocketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SocketError::Unreachable => write!(f, "power socket unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for SocketError {}
+
+/// Current state reported by the socket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SocketState {
+    /// Relay closed, mains delivered.
+    On,
+    /// Relay open.
+    Off,
+}
+
+/// A Meross-style WiFi power socket.
+#[derive(Clone, Debug)]
+pub struct PowerSocket {
+    state: SocketState,
+    toggles: u32,
+    last_change: Option<SimTime>,
+    /// When set, the next `fail_next` commands return `Unreachable`.
+    fail_next: u32,
+    /// Actuation latency of the relay + LAN round trip.
+    actuation: SimDuration,
+}
+
+impl PowerSocket {
+    /// A reachable socket, initially off.
+    pub fn new() -> Self {
+        PowerSocket {
+            state: SocketState::Off,
+            toggles: 0,
+            last_change: None,
+            fail_next: 0,
+            actuation: SimDuration::from_millis(180),
+        }
+    }
+
+    /// Current relay state.
+    pub fn state(&self) -> SocketState {
+        self.state
+    }
+
+    /// True when mains is delivered.
+    pub fn is_on(&self) -> bool {
+        self.state == SocketState::On
+    }
+
+    /// Lifetime actuation count.
+    pub fn toggles(&self) -> u32 {
+        self.toggles
+    }
+
+    /// Instant of the last successful state change.
+    pub fn last_change(&self) -> Option<SimTime> {
+        self.last_change
+    }
+
+    /// Typical command latency (LAN round trip + relay).
+    pub fn actuation_delay(&self) -> SimDuration {
+        self.actuation
+    }
+
+    /// Make the next `n` commands fail (fault injection).
+    pub fn inject_unreachable(&mut self, n: u32) {
+        self.fail_next = n;
+    }
+
+    /// The Meross `togglex` command: set the relay to `on`.
+    /// Idempotent; returns the resulting state.
+    pub fn togglex(&mut self, now: SimTime, on: bool) -> Result<SocketState, SocketError> {
+        if self.fail_next > 0 {
+            self.fail_next -= 1;
+            return Err(SocketError::Unreachable);
+        }
+        let target = if on { SocketState::On } else { SocketState::Off };
+        if self.state != target {
+            self.state = target;
+            self.toggles += 1;
+            self.last_change = Some(now + self.actuation);
+        }
+        Ok(self.state)
+    }
+
+    /// Query state over the LAN (can also fail when unreachable).
+    pub fn query(&mut self) -> Result<SocketState, SocketError> {
+        if self.fail_next > 0 {
+            self.fail_next -= 1;
+            return Err(SocketError::Unreachable);
+        }
+        Ok(self.state)
+    }
+}
+
+impl Default for PowerSocket {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_on_off() {
+        let mut s = PowerSocket::new();
+        assert!(!s.is_on());
+        s.togglex(SimTime::ZERO, true).unwrap();
+        assert!(s.is_on());
+        s.togglex(SimTime::from_secs(1), false).unwrap();
+        assert!(!s.is_on());
+        assert_eq!(s.toggles(), 2);
+    }
+
+    #[test]
+    fn togglex_is_idempotent() {
+        let mut s = PowerSocket::new();
+        s.togglex(SimTime::ZERO, true).unwrap();
+        s.togglex(SimTime::from_secs(1), true).unwrap();
+        assert_eq!(s.toggles(), 1, "no-op toggles don't actuate the relay");
+    }
+
+    #[test]
+    fn unreachable_fault_then_recovery() {
+        let mut s = PowerSocket::new();
+        s.inject_unreachable(2);
+        assert_eq!(s.togglex(SimTime::ZERO, true), Err(SocketError::Unreachable));
+        assert_eq!(s.query(), Err(SocketError::Unreachable));
+        // Third attempt succeeds — retry loops in the controller rely on this.
+        assert_eq!(s.togglex(SimTime::ZERO, true), Ok(SocketState::On));
+    }
+
+    #[test]
+    fn last_change_includes_actuation_latency() {
+        let mut s = PowerSocket::new();
+        s.togglex(SimTime::from_secs(10), true).unwrap();
+        let change = s.last_change().unwrap();
+        assert!(change > SimTime::from_secs(10));
+        assert_eq!(change, SimTime::from_secs(10) + s.actuation_delay());
+    }
+}

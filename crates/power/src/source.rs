@@ -1,0 +1,117 @@
+//! The current-source abstraction between the power monitor and whatever
+//! it measures.
+//!
+//! The Monsoon does not know it is measuring a phone: it sees a load that
+//! draws some current at the voltage it supplies. Devices (and the relay
+//! circuit in `batterylab-relay`) implement [`CurrentSource`]; test code
+//! can plug in constant or scripted loads.
+
+use batterylab_sim::{SimTime, StepSignal};
+
+/// Something that draws current from a supply.
+pub trait CurrentSource: Send + Sync {
+    /// Instantaneous current draw in mA at virtual time `t`, given the
+    /// supply voltage in volts.
+    ///
+    /// Implementations must be pure with respect to `t`: sampling the same
+    /// instant twice returns the same value (noise is added by the meter,
+    /// not the load).
+    fn current_ma(&self, t: SimTime, supply_v: f64) -> f64;
+}
+
+/// A constant load, useful for calibration tests.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantLoad {
+    /// Current drawn at the nominal voltage, mA.
+    pub ma: f64,
+    /// Nominal voltage the load was specified at, volts.
+    pub nominal_v: f64,
+}
+
+impl ConstantLoad {
+    /// A constant-power load of `ma` mA at `nominal_v` volts.
+    pub fn new(ma: f64, nominal_v: f64) -> Self {
+        assert!(ma >= 0.0 && nominal_v > 0.0);
+        ConstantLoad { ma, nominal_v }
+    }
+}
+
+impl CurrentSource for ConstantLoad {
+    fn current_ma(&self, _t: SimTime, supply_v: f64) -> f64 {
+        // Constant power: P = V_nom * I_nom, so I = P / V_supply.
+        self.ma * self.nominal_v / supply_v.max(1e-6)
+    }
+}
+
+/// A load described by a piecewise-constant current trace at a nominal
+/// voltage — the shape a device simulation run produces.
+#[derive(Clone, Debug)]
+pub struct TraceLoad {
+    trace: StepSignal,
+    nominal_v: f64,
+}
+
+impl TraceLoad {
+    /// Wrap a current trace (mA at `nominal_v`).
+    pub fn new(trace: StepSignal, nominal_v: f64) -> Self {
+        assert!(nominal_v > 0.0);
+        TraceLoad { trace, nominal_v }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &StepSignal {
+        &self.trace
+    }
+}
+
+impl CurrentSource for TraceLoad {
+    fn current_ma(&self, t: SimTime, supply_v: f64) -> f64 {
+        self.trace.at(t) * self.nominal_v / supply_v.max(1e-6)
+    }
+}
+
+/// An open circuit: draws nothing. What the meter sees when the relay has
+/// not engaged the battery bypass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpenCircuit;
+
+impl CurrentSource for OpenCircuit {
+    fn current_ma(&self, _t: SimTime, _supply_v: f64) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_load_is_constant_power() {
+        let load = ConstantLoad::new(100.0, 4.0);
+        let at_4v = load.current_ma(SimTime::ZERO, 4.0);
+        let at_8v = load.current_ma(SimTime::ZERO, 8.0);
+        assert!((at_4v - 100.0).abs() < 1e-12);
+        assert!((at_8v - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_load_follows_trace() {
+        let mut trace = StepSignal::new(100.0);
+        trace.set(SimTime::from_secs(10), 250.0);
+        let load = TraceLoad::new(trace, 4.0);
+        assert_eq!(load.current_ma(SimTime::from_secs(5), 4.0), 100.0);
+        assert_eq!(load.current_ma(SimTime::from_secs(15), 4.0), 250.0);
+    }
+
+    #[test]
+    fn open_circuit_draws_nothing() {
+        assert_eq!(OpenCircuit.current_ma(SimTime::from_secs(1), 4.2), 0.0);
+    }
+
+    #[test]
+    fn sampling_is_pure() {
+        let load = ConstantLoad::new(42.0, 4.0);
+        let t = SimTime::from_millis(123);
+        assert_eq!(load.current_ma(t, 4.0).to_bits(), load.current_ma(t, 4.0).to_bits());
+    }
+}

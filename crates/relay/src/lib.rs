@@ -1,0 +1,18 @@
+//! # batterylab-relay
+//!
+//! The controller-side switching hardware: the Raspberry Pi [`GpioBank`]
+//! and the relay [`CircuitSwitch`] that routes each test device's voltage
+//! terminal between its own battery and the Monsoon's Vout (the "battery
+//! bypass" of §3.2). A [`RelayBoard`] ties the two together: relay coils
+//! are energised by GPIO writes, so a mis-configured pin shows up as a
+//! switching failure just like on the bench.
+
+#![warn(missing_docs)]
+
+mod board;
+mod gpio;
+mod switch;
+
+pub use board::{BoardError, RelayBoard};
+pub use gpio::{GpioBank, GpioError, Level, PinMode, GPIO_LINES};
+pub use switch::{ChannelRoute, CircuitSwitch, MeterSide, SwitchError};

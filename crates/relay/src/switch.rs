@@ -1,0 +1,339 @@
+//! The relay-based circuit switch (§3.2).
+//!
+//! Each channel's relay takes the device's voltage (+) terminal as input
+//! and programmatically routes it to either the device's own battery
+//! terminal or the Monsoon's Vout connector ("battery bypass"). Ground is
+//! permanently common. The switch therefore does two jobs:
+//!
+//! 1. engage/disengage the battery bypass required for measurement, and
+//! 2. let one meter serve several test devices without re-cabling.
+//!
+//! Fig. 2 of the paper shows the relay's impact on readings is negligible;
+//! here that is a *property* of the model — a small series contact
+//! resistance — and the figure-2 bench verifies it stays negligible.
+
+use std::sync::Arc;
+
+use batterylab_sim::SimTime;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use batterylab_power::CurrentSource;
+
+/// Relay contact position for one channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelRoute {
+    /// Device runs from its own battery; the meter sees nothing.
+    Battery,
+    /// Battery bypass: device powered (and measured) via Monsoon Vout.
+    Bypass,
+}
+
+/// Errors from the circuit switch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SwitchError {
+    /// Channel index out of range.
+    NoSuchChannel(usize),
+    /// Another channel already routes to the meter — one Monsoon, one
+    /// measured device at a time.
+    BypassBusy {
+        /// Channel currently holding the bypass.
+        held_by: usize,
+    },
+    /// No device load attached to the channel.
+    NoDevice(usize),
+}
+
+impl std::fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwitchError::NoSuchChannel(c) => write!(f, "no such relay channel {c}"),
+            SwitchError::BypassBusy { held_by } => {
+                write!(f, "bypass already engaged by channel {held_by}")
+            }
+            SwitchError::NoDevice(c) => write!(f, "no device attached to channel {c}"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+struct Channel {
+    load: Option<Arc<dyn CurrentSource>>,
+    route: ChannelRoute,
+    switches: u32,
+    last_switch: Option<SimTime>,
+}
+
+struct Inner {
+    channels: Vec<Channel>,
+    /// Series resistance each relay contact adds, ohms.
+    contact_ohms: f64,
+}
+
+/// A multi-channel relay circuit between test devices and the Monsoon.
+///
+/// Shared (`Arc`) between the controller (which switches channels) and the
+/// meter (which reads the routed load through [`CircuitSwitch::meter_side`]).
+pub struct CircuitSwitch {
+    inner: RwLock<Inner>,
+}
+
+impl CircuitSwitch {
+    /// A switch with `channels` relay channels (the prototype board has 4).
+    pub fn new(channels: usize) -> Arc<Self> {
+        assert!(channels > 0, "switch needs at least one channel");
+        Arc::new(CircuitSwitch {
+            inner: RwLock::new(Inner {
+                channels: (0..channels)
+                    .map(|_| Channel {
+                        load: None,
+                        route: ChannelRoute::Battery,
+                        switches: 0,
+                        last_switch: None,
+                    })
+                    .collect(),
+                contact_ohms: 0.05,
+            }),
+        })
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.inner.read().channels.len()
+    }
+
+    /// Attach a device load to `channel` (its route resets to Battery).
+    pub fn attach(&self, channel: usize, load: Arc<dyn CurrentSource>) -> Result<(), SwitchError> {
+        let mut inner = self.inner.write();
+        let n = inner.channels.len();
+        let ch = inner
+            .channels
+            .get_mut(channel)
+            .ok_or(SwitchError::NoSuchChannel(channel))?;
+        let _ = n;
+        ch.load = Some(load);
+        ch.route = ChannelRoute::Battery;
+        Ok(())
+    }
+
+    /// Detach the device from `channel`.
+    pub fn detach(&self, channel: usize) -> Result<(), SwitchError> {
+        let mut inner = self.inner.write();
+        let ch = inner
+            .channels
+            .get_mut(channel)
+            .ok_or(SwitchError::NoSuchChannel(channel))?;
+        ch.load = None;
+        ch.route = ChannelRoute::Battery;
+        Ok(())
+    }
+
+    /// Route of `channel`.
+    pub fn route(&self, channel: usize) -> Result<ChannelRoute, SwitchError> {
+        let inner = self.inner.read();
+        inner
+            .channels
+            .get(channel)
+            .map(|c| c.route)
+            .ok_or(SwitchError::NoSuchChannel(channel))
+    }
+
+    /// The channel currently holding the bypass, if any.
+    pub fn bypass_holder(&self) -> Option<usize> {
+        let inner = self.inner.read();
+        inner
+            .channels
+            .iter()
+            .position(|c| c.route == ChannelRoute::Bypass)
+    }
+
+    /// Engage the battery bypass for `channel` at time `now`.
+    ///
+    /// Fails if another channel holds the bypass (the API's
+    /// `batt_switch` releases it first) or no device is attached.
+    pub fn engage_bypass(&self, channel: usize, now: SimTime) -> Result<(), SwitchError> {
+        let mut inner = self.inner.write();
+        if let Some(holder) = inner
+            .channels
+            .iter()
+            .position(|c| c.route == ChannelRoute::Bypass)
+        {
+            if holder != channel {
+                return Err(SwitchError::BypassBusy { held_by: holder });
+            }
+            return Ok(()); // already engaged
+        }
+        let ch = inner
+            .channels
+            .get_mut(channel)
+            .ok_or(SwitchError::NoSuchChannel(channel))?;
+        if ch.load.is_none() {
+            return Err(SwitchError::NoDevice(channel));
+        }
+        ch.route = ChannelRoute::Bypass;
+        ch.switches += 1;
+        ch.last_switch = Some(now);
+        Ok(())
+    }
+
+    /// Return `channel` to its own battery at time `now`.
+    pub fn release_bypass(&self, channel: usize, now: SimTime) -> Result<(), SwitchError> {
+        let mut inner = self.inner.write();
+        let ch = inner
+            .channels
+            .get_mut(channel)
+            .ok_or(SwitchError::NoSuchChannel(channel))?;
+        if ch.route == ChannelRoute::Bypass {
+            ch.route = ChannelRoute::Battery;
+            ch.switches += 1;
+            ch.last_switch = Some(now);
+        }
+        Ok(())
+    }
+
+    /// Actuation count for a channel (relays have finite mechanical life;
+    /// maintenance jobs watch this).
+    pub fn switch_count(&self, channel: usize) -> Result<u32, SwitchError> {
+        let inner = self.inner.read();
+        inner
+            .channels
+            .get(channel)
+            .map(|c| c.switches)
+            .ok_or(SwitchError::NoSuchChannel(channel))
+    }
+
+    /// The load as seen from the Monsoon's Vout terminals: the bypassed
+    /// channel's device through the relay contacts, or an open circuit.
+    pub fn meter_side(self: &Arc<Self>) -> MeterSide {
+        MeterSide {
+            switch: Arc::clone(self),
+        }
+    }
+}
+
+/// [`CurrentSource`] view of the switch from the meter's terminals.
+pub struct MeterSide {
+    switch: Arc<CircuitSwitch>,
+}
+
+impl CurrentSource for MeterSide {
+    fn current_ma(&self, t: SimTime, supply_v: f64) -> f64 {
+        let inner = self.switch.inner.read();
+        let Some(ch) = inner
+            .channels
+            .iter()
+            .find(|c| c.route == ChannelRoute::Bypass)
+        else {
+            return 0.0; // open circuit
+        };
+        let Some(load) = &ch.load else {
+            return 0.0;
+        };
+        // The relay contact sits in series with the supply: the device sees
+        // supply_v minus the IR drop across the contact. One fixed-point
+        // refinement is plenty at 50 mΩ.
+        let i0 = load.current_ma(t, supply_v);
+        let v_eff = (supply_v - i0 / 1000.0 * inner.contact_ohms).max(0.1);
+        load.current_ma(t, v_eff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batterylab_power::ConstantLoad;
+
+    fn load(ma: f64) -> Arc<dyn CurrentSource> {
+        Arc::new(ConstantLoad::new(ma, 4.0))
+    }
+
+    #[test]
+    fn open_circuit_until_bypass_engaged() {
+        let sw = CircuitSwitch::new(2);
+        sw.attach(0, load(200.0)).unwrap();
+        let meter = sw.meter_side();
+        assert_eq!(meter.current_ma(SimTime::ZERO, 4.0), 0.0);
+        sw.engage_bypass(0, SimTime::ZERO).unwrap();
+        assert!(meter.current_ma(SimTime::ZERO, 4.0) > 199.0);
+    }
+
+    #[test]
+    fn contact_resistance_is_negligible() {
+        // The Fig. 2 "direct vs relay" requirement: < 2 % difference.
+        let sw = CircuitSwitch::new(1);
+        sw.attach(0, load(200.0)).unwrap();
+        sw.engage_bypass(0, SimTime::ZERO).unwrap();
+        let through_relay = sw.meter_side().current_ma(SimTime::ZERO, 4.0);
+        let direct = 200.0;
+        let rel = (through_relay - direct).abs() / direct;
+        assert!(rel < 0.02, "relay perturbs reading by {:.3}%", rel * 100.0);
+        assert!(rel > 0.0, "contact resistance should be modelled, not zero");
+    }
+
+    #[test]
+    fn only_one_bypass_at_a_time() {
+        let sw = CircuitSwitch::new(3);
+        sw.attach(0, load(100.0)).unwrap();
+        sw.attach(1, load(150.0)).unwrap();
+        sw.engage_bypass(0, SimTime::ZERO).unwrap();
+        assert_eq!(
+            sw.engage_bypass(1, SimTime::ZERO),
+            Err(SwitchError::BypassBusy { held_by: 0 })
+        );
+        sw.release_bypass(0, SimTime::from_secs(1)).unwrap();
+        sw.engage_bypass(1, SimTime::from_secs(1)).unwrap();
+        assert_eq!(sw.bypass_holder(), Some(1));
+    }
+
+    #[test]
+    fn engage_requires_device() {
+        let sw = CircuitSwitch::new(1);
+        assert_eq!(
+            sw.engage_bypass(0, SimTime::ZERO),
+            Err(SwitchError::NoDevice(0))
+        );
+    }
+
+    #[test]
+    fn reengage_is_idempotent() {
+        let sw = CircuitSwitch::new(1);
+        sw.attach(0, load(100.0)).unwrap();
+        sw.engage_bypass(0, SimTime::ZERO).unwrap();
+        sw.engage_bypass(0, SimTime::from_secs(1)).unwrap();
+        assert_eq!(sw.switch_count(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn switching_devices_without_recabling() {
+        // The second task of the switch: serve multiple devices.
+        let sw = CircuitSwitch::new(2);
+        sw.attach(0, load(100.0)).unwrap();
+        sw.attach(1, load(300.0)).unwrap();
+        let meter = sw.meter_side();
+        sw.engage_bypass(0, SimTime::ZERO).unwrap();
+        let a = meter.current_ma(SimTime::ZERO, 4.0);
+        sw.release_bypass(0, SimTime::ZERO).unwrap();
+        sw.engage_bypass(1, SimTime::ZERO).unwrap();
+        let b = meter.current_ma(SimTime::ZERO, 4.0);
+        assert!(a > 99.0 && a < 102.0);
+        assert!(b > 297.0 && b < 302.0);
+    }
+
+    #[test]
+    fn detach_releases_bypass() {
+        let sw = CircuitSwitch::new(1);
+        sw.attach(0, load(100.0)).unwrap();
+        sw.engage_bypass(0, SimTime::ZERO).unwrap();
+        sw.detach(0).unwrap();
+        assert_eq!(sw.bypass_holder(), None);
+        assert_eq!(sw.meter_side().current_ma(SimTime::ZERO, 4.0), 0.0);
+    }
+
+    #[test]
+    fn bad_channel_errors() {
+        let sw = CircuitSwitch::new(1);
+        assert_eq!(sw.route(5), Err(SwitchError::NoSuchChannel(5)));
+        assert_eq!(sw.attach(5, load(1.0)), Err(SwitchError::NoSuchChannel(5)));
+    }
+}

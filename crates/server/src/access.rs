@@ -1,0 +1,464 @@
+//! The access server (§3.1): the cloud-hosted front door tying together
+//! authentication, the node registry, the build queue and maintenance —
+//! BatteryLab's Jenkins.
+
+use std::collections::BTreeMap;
+
+use batterylab_controller::VantagePoint;
+use batterylab_sim::SimTime;
+
+use crate::auth::{AuthError, AuthService, Permission, Role, Session};
+use crate::credits::{CreditError, CreditLedger};
+use crate::jobs::{BuildRecord, Constraints, JobId, Payload};
+use crate::maintenance;
+use crate::registry::{NodeRegistry, RegistryError};
+use crate::scheduler::Scheduler;
+use crate::ssh::SshClient;
+use batterylab_sim::SimDuration;
+
+/// Access-server faults.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Authentication/authorisation failure.
+    Auth(AuthError),
+    /// Registry failure.
+    Registry(RegistryError),
+    /// Unknown build.
+    NoSuchBuild(JobId),
+    /// Credit-system refusal (billing-enabled deployments).
+    Credits(CreditError),
+}
+
+impl From<AuthError> for ServerError {
+    fn from(e: AuthError) -> Self {
+        ServerError::Auth(e)
+    }
+}
+
+impl From<RegistryError> for ServerError {
+    fn from(e: RegistryError) -> Self {
+        ServerError::Registry(e)
+    }
+}
+
+impl From<CreditError> for ServerError {
+    fn from(e: CreditError) -> Self {
+        ServerError::Credits(e)
+    }
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Auth(e) => write!(f, "auth: {e}"),
+            ServerError::Registry(e) => write!(f, "registry: {e}"),
+            ServerError::NoSuchBuild(id) => write!(f, "no such build {id:?}"),
+            ServerError::Credits(e) => write!(f, "credits: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// The BatteryLab access server.
+pub struct AccessServer {
+    auth: AuthService,
+    registry: NodeRegistry,
+    scheduler: Scheduler,
+    nodes: BTreeMap<String, VantagePoint>,
+    ssh: SshClient,
+    public_ip: String,
+    /// §5 credit system; `None` = open-access deployment.
+    billing: Option<CreditLedger>,
+    /// Node → owning member, for hosting accrual.
+    node_owners: BTreeMap<String, String>,
+    /// Last instant hosting accrual ran.
+    last_accrual: SimTime,
+}
+
+impl AccessServer {
+    /// Boot the server (AWS-hosted in the paper) with a bootstrap admin.
+    pub fn new(public_ip: &str, admin_user: &str, admin_password: &str) -> Self {
+        AccessServer {
+            auth: AuthService::new(admin_user, admin_password),
+            registry: NodeRegistry::new(SimTime::ZERO),
+            scheduler: Scheduler::new(),
+            nodes: BTreeMap::new(),
+            ssh: SshClient::new("fp:access-server"),
+            public_ip: public_ip.to_string(),
+            billing: None,
+            node_owners: BTreeMap::new(),
+            last_accrual: SimTime::ZERO,
+        }
+    }
+
+    /// Turn on the §5 credit system. Existing users get the welcome
+    /// grant lazily on first use.
+    pub fn enable_billing(&mut self) {
+        if self.billing.is_none() {
+            self.billing = Some(CreditLedger::new());
+        }
+    }
+
+    /// The ledger, if billing is enabled.
+    pub fn ledger(&self) -> Option<&CreditLedger> {
+        self.billing.as_ref()
+    }
+
+    /// Mutable ledger access (grants, transfers).
+    pub fn ledger_mut(&mut self) -> Option<&mut CreditLedger> {
+        self.billing.as_mut()
+    }
+
+    /// Record that `owner` hosts `node` (earns hosting credits).
+    pub fn set_node_owner(&mut self, node: &str, owner: &str) {
+        self.node_owners.insert(node.to_string(), owner.to_string());
+    }
+
+    /// User directory access.
+    pub fn auth_mut(&mut self) -> &mut AuthService {
+        &mut self.auth
+    }
+
+    /// Node registry access.
+    pub fn registry(&self) -> &NodeRegistry {
+        &self.registry
+    }
+
+    /// Log in to the console.
+    pub fn login(&mut self, user: &str, password: &str, https: bool) -> Result<Session, ServerError> {
+        Ok(self.auth.login(user, password, https)?)
+    }
+
+    /// Add a user (requires ManageNodes-grade admin rights).
+    pub fn add_user(
+        &mut self,
+        token: u64,
+        name: &str,
+        password: &str,
+        role: Role,
+    ) -> Result<(), ServerError> {
+        self.auth.authorize(token, Permission::ManageNodes)?;
+        Ok(self.auth.add_user(name, password, role)?)
+    }
+
+    /// Enrol a vantage point (§3.4): registry entry, DNS, cert deploy,
+    /// host-key pinning, and handing the node over to the dispatcher.
+    pub fn enroll_node(
+        &mut self,
+        token: u64,
+        vp: VantagePoint,
+        ip: &str,
+        host_key: &str,
+        open_ports: &[u16],
+        now: SimTime,
+    ) -> Result<String, ServerError> {
+        self.auth.authorize(token, Permission::ManageNodes)?;
+        let name = vp.name().to_string();
+        let public_ip = self.public_ip.clone();
+        self.registry
+            .enroll(&name, ip, host_key, open_ports, &public_ip, now)?;
+        self.ssh.pin_host(&name, host_key);
+        self.nodes.insert(name.clone(), vp);
+        Ok(format!("{name}.batterylab.dev"))
+    }
+
+    /// Enrolled nodes.
+    pub fn node_names(&self) -> Vec<String> {
+        self.nodes.keys().cloned().collect()
+    }
+
+    /// Devices at a node.
+    pub fn node_devices(&self, name: &str) -> Result<Vec<String>, ServerError> {
+        self.registry.node(name)?; // must be enrolled
+        Ok(self
+            .nodes
+            .get(name)
+            .map(|vp| vp.list_devices())
+            .unwrap_or_default())
+    }
+
+    /// Submit a job (experimenters and admins).
+    pub fn submit_job(
+        &mut self,
+        token: u64,
+        name: &str,
+        constraints: Constraints,
+        payload: Payload,
+    ) -> Result<JobId, ServerError> {
+        let session = self.auth.authorize(token, Permission::CreateJob)?;
+        let owner = session.user.clone();
+        self.auth.authorize(token, Permission::RunJob)?;
+        if let Some(ledger) = &mut self.billing {
+            // Affordability gate: reserve a conservative 10 device-minutes.
+            ledger.open_account(&owner);
+            ledger.check_affordable(&owner, SimDuration::from_secs(600))?;
+        }
+        Ok(self.scheduler.submit(name, &owner, constraints, payload))
+    }
+
+    /// Run one dispatcher pass. With billing on, the submitting user is
+    /// charged for the device time the build actually consumed.
+    pub fn tick(&mut self) -> Option<JobId> {
+        let id = self.scheduler.tick(&mut self.nodes)?;
+        if let Some(ledger) = &mut self.billing {
+            if let Some(build) = self.scheduler.build(id) {
+                let secs = build
+                    .summary
+                    .as_ref()
+                    .and_then(|s| s["duration_s"].as_f64())
+                    .unwrap_or(0.0);
+                if secs > 0.0 {
+                    let _ = ledger.charge_experiment(
+                        &build.owner,
+                        &build.name,
+                        SimDuration::from_secs_f64(secs),
+                    );
+                }
+            }
+        }
+        Some(id)
+    }
+
+    /// Drain the whole queue (charging per build when billing is on).
+    pub fn drain(&mut self) -> Vec<JobId> {
+        let mut ran = Vec::new();
+        while let Some(id) = self.tick() {
+            ran.push(id);
+        }
+        ran
+    }
+
+    /// Reserve a time slot on a device (§3: "request time slots").
+    pub fn reserve_slot(
+        &mut self,
+        token: u64,
+        node: &str,
+        device: &str,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<(), ServerError> {
+        let session = self.auth.authorize(token, Permission::RunJob)?;
+        let user = session.user.clone();
+        self.registry.node(node)?;
+        self.scheduler
+            .slots_mut()
+            .reserve(node, device, &user, from, to)
+            .map_err(|e| {
+                ServerError::Auth(AuthError::Forbidden {
+                    user: format!("{user} ({e})"),
+                    permission: Permission::RunJob,
+                })
+            })
+    }
+
+    /// The reservation schedule for a device.
+    pub fn device_schedule(&self, node: &str, device: &str) -> &[crate::slots::Slot] {
+        self.scheduler.slots().schedule(node, device)
+    }
+
+    /// Read a build (requires ViewResults).
+    pub fn build(&self, token: u64, id: JobId) -> Result<&BuildRecord, ServerError> {
+        self.auth.authorize(token, Permission::ViewResults)?;
+        self.scheduler.build(id).ok_or(ServerError::NoSuchBuild(id))
+    }
+
+    /// Run the maintenance sweeps at `now`. With billing on, node owners
+    /// accrue hosting credits for the interval since the last sweep.
+    pub fn run_maintenance(&mut self, now: SimTime) -> maintenance::MaintenanceReport {
+        let mut report = maintenance::certificate_sweep(&mut self.registry, now);
+        let power = maintenance::power_safety_sweep(&mut self.nodes);
+        report.meters_powered_off = power.meters_powered_off;
+        self.scheduler.prune_workspaces(now);
+        if let Some(ledger) = &mut self.billing {
+            let online = now.duration_since(self.last_accrual);
+            if !online.is_zero() {
+                for (node, owner) in &self.node_owners {
+                    ledger.earn_hosting(owner, node, online);
+                }
+            }
+        }
+        self.last_accrual = now;
+        report
+    }
+
+    /// Direct node access for the evaluation harness (not part of the
+    /// experimenter-facing surface).
+    pub fn node_mut(&mut self, name: &str) -> Option<&mut VantagePoint> {
+        self.nodes.get_mut(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::ExperimentSpec;
+    use batterylab_automation::Script;
+    use batterylab_controller::VantageConfig;
+    use batterylab_device::boot_j7_duo;
+    use batterylab_sim::SimRng;
+
+    const PORTS: [u16; 3] = [2222, 8080, 6081];
+
+    fn server_with_node() -> (AccessServer, u64) {
+        let mut server = AccessServer::new("52.1.2.3", "admin", "pw");
+        let admin = server.login("admin", "pw", true).unwrap().token;
+        let rng = SimRng::new(61);
+        let mut vp = VantagePoint::new(VantageConfig::imperial_college(), rng.derive("vp"));
+        let d = boot_j7_duo(&rng, "acc-dev");
+        d.install_package("com.brave.browser");
+        vp.add_device(d);
+        server
+            .enroll_node(admin, vp, "155.198.1.10", "hk:node1", &PORTS, SimTime::ZERO)
+            .unwrap();
+        (server, admin)
+    }
+
+    #[test]
+    fn enrolment_publishes_dns() {
+        let (server, _) = server_with_node();
+        assert_eq!(
+            server.registry().resolve("node1.batterylab.dev").unwrap(),
+            "155.198.1.10"
+        );
+        assert_eq!(server.node_devices("node1").unwrap(), vec!["acc-dev"]);
+    }
+
+    #[test]
+    fn experimenter_end_to_end() {
+        let (mut server, admin) = server_with_node();
+        server.add_user(admin, "alice", "pw-a", Role::Experimenter).unwrap();
+        let alice = server.login("alice", "pw-a", true).unwrap().token;
+        let id = server
+            .submit_job(
+                alice,
+                "browser-energy",
+                Constraints::default(),
+                Payload::Experiment(ExperimentSpec::measured(
+                    "acc-dev",
+                    Script::browser_workload("com.brave.browser", &["https://a.example"], 2),
+                )),
+            )
+            .unwrap();
+        assert_eq!(server.tick(), Some(id));
+        let build = server.build(alice, id).unwrap();
+        assert_eq!(build.owner, "alice");
+        assert!(build.summary.as_ref().unwrap()["discharge_mah"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn testers_cannot_submit_or_read() {
+        let (mut server, admin) = server_with_node();
+        server.add_user(admin, "turk", "pw-t", Role::Tester).unwrap();
+        let turk = server.login("turk", "pw-t", true).unwrap().token;
+        assert!(matches!(
+            server.submit_job(turk, "x", Constraints::default(),
+                Payload::Custom(Box::new(|_| Err("never".into())))),
+            Err(ServerError::Auth(AuthError::Forbidden { .. }))
+        ));
+        assert!(matches!(
+            server.build(turk, JobId(1)),
+            Err(ServerError::Auth(AuthError::Forbidden { .. }))
+        ));
+    }
+
+    #[test]
+    fn only_admin_enrolls_nodes() {
+        let (mut server, admin) = server_with_node();
+        server.add_user(admin, "alice", "pw-a", Role::Experimenter).unwrap();
+        let alice = server.login("alice", "pw-a", true).unwrap().token;
+        let rng = SimRng::new(62);
+        let vp2 = VantagePoint::new(
+            VantageConfig {
+                name: "node2".to_string(),
+                ..VantageConfig::imperial_college()
+            },
+            rng.derive("vp2"),
+        );
+        assert!(matches!(
+            server.enroll_node(alice, vp2, "1.2.3.4", "hk:2", &PORTS, SimTime::ZERO),
+            Err(ServerError::Auth(AuthError::Forbidden { .. }))
+        ));
+    }
+
+    #[test]
+    fn maintenance_sweep_runs() {
+        let (mut server, _) = server_with_node();
+        // Turn a meter on behind the scheduler's back.
+        server.node_mut("node1").unwrap().power_monitor().unwrap();
+        let report = server.run_maintenance(SimTime::from_secs(70 * 24 * 3600));
+        assert!(report.cert_renewed);
+        assert_eq!(report.meters_powered_off, vec!["node1".to_string()]);
+    }
+}
+
+#[cfg(test)]
+mod slot_tests {
+    use super::*;
+    use crate::jobs::ExperimentSpec;
+    use batterylab_automation::Script;
+    use batterylab_controller::VantageConfig;
+    use batterylab_device::boot_j7_duo;
+    use batterylab_sim::SimRng;
+
+    #[test]
+    fn reserved_device_blocks_other_users_jobs() {
+        let mut server = AccessServer::new("52.1.2.3", "admin", "pw");
+        let admin = server.login("admin", "pw", true).unwrap().token;
+        let rng = SimRng::new(71);
+        let mut vp = VantagePoint::new(VantageConfig::imperial_college(), rng.derive("vp"));
+        let d = boot_j7_duo(&rng, "slot-dev");
+        d.install_package("com.brave.browser");
+        vp.add_device(d);
+        server
+            .enroll_node(admin, vp, "1.2.3.4", "hk", &[2222, 8080, 6081], SimTime::ZERO)
+            .unwrap();
+        server.add_user(admin, "alice", "a", Role::Experimenter).unwrap();
+        server.add_user(admin, "bob", "b", Role::Experimenter).unwrap();
+        let alice = server.login("alice", "a", true).unwrap().token;
+        let bob = server.login("bob", "b", true).unwrap().token;
+
+        // Alice reserves the device's near future on its virtual clock.
+        server
+            .reserve_slot(alice, "node1", "slot-dev", SimTime::ZERO, SimTime::from_secs(3600))
+            .unwrap();
+        assert_eq!(server.device_schedule("node1", "slot-dev").len(), 1);
+        // Bob cannot double-book.
+        assert!(server
+            .reserve_slot(bob, "node1", "slot-dev", SimTime::from_secs(10), SimTime::from_secs(20))
+            .is_err());
+
+        // Bob's job stays queued during Alice's slot...
+        let bob_job = server
+            .submit_job(
+                bob,
+                "bob-job",
+                Constraints::default(),
+                Payload::Experiment(ExperimentSpec::measured(
+                    "slot-dev",
+                    Script::browser_workload("com.brave.browser", &["https://reuters.com"], 1),
+                )),
+            )
+            .unwrap();
+        assert_eq!(server.tick(), None, "slot held by alice");
+
+        // ...while Alice's runs.
+        let alice_job = server
+            .submit_job(
+                alice,
+                "alice-job",
+                Constraints::default(),
+                Payload::Experiment(ExperimentSpec::measured(
+                    "slot-dev",
+                    Script::browser_workload("com.brave.browser", &["https://reuters.com"], 1),
+                )),
+            )
+            .unwrap();
+        assert_eq!(server.tick(), Some(alice_job));
+
+        // After the slot ends (device clock has advanced past it or the
+        // reservation is released), Bob's job dispatches.
+        server.scheduler.slots_mut().release_all("node1", "slot-dev", "alice");
+        assert_eq!(server.tick(), Some(bob_job));
+    }
+}

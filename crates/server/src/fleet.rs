@@ -1,0 +1,283 @@
+//! Concurrent fleet execution.
+//!
+//! Vantage points are independent machines: node1 in London can run a
+//! browser sweep while node2 in Turin measures a video workload. The
+//! [`FleetExecutor`] gives each node its own worker thread fed by a
+//! channel, with the graceful-shutdown discipline of the Tokio guide
+//! (drain the queues, join the workers) implemented on plain threads +
+//! crossbeam channels — the platform layer is I/O-light, so OS threads
+//! per node are the honest choice.
+//!
+//! Per-node execution stays serial (one job at a time per device is a
+//! BatteryLab invariant), so results are deterministic per node while
+//! nodes overlap in wall time.
+
+use std::collections::BTreeMap;
+use std::thread::JoinHandle;
+
+use batterylab_controller::VantagePoint;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::jobs::{ExperimentSpec, JobId};
+use crate::vantage_exec::{run_experiment, JobOutcome};
+
+/// A job dispatched to a node worker.
+pub struct FleetJob {
+    /// Build id assigned by the caller.
+    pub id: JobId,
+    /// Display name.
+    pub name: String,
+    /// What to run.
+    pub spec: ExperimentSpec,
+}
+
+/// A completed job, reported back on the results channel.
+pub struct FleetResult {
+    /// Build id.
+    pub id: JobId,
+    /// Node that ran it.
+    pub node: String,
+    /// Outcome or error.
+    pub result: Result<JobOutcome, String>,
+}
+
+struct Worker {
+    tx: Sender<FleetJob>,
+    handle: JoinHandle<VantagePoint>,
+}
+
+/// One worker thread per vantage point.
+pub struct FleetExecutor {
+    workers: BTreeMap<String, Worker>,
+    results_rx: Receiver<FleetResult>,
+    /// Kept so cloned senders in workers don't close the channel early.
+    _results_tx: Sender<FleetResult>,
+    dispatched: usize,
+}
+
+impl FleetExecutor {
+    /// Take ownership of `nodes` and start one worker per node.
+    pub fn start(nodes: BTreeMap<String, VantagePoint>) -> Self {
+        let (results_tx, results_rx) = unbounded::<FleetResult>();
+        let mut workers = BTreeMap::new();
+        for (name, mut vp) in nodes {
+            let (tx, rx) = unbounded::<FleetJob>();
+            let results = results_tx.clone();
+            let node_name = name.clone();
+            let handle = std::thread::spawn(move || {
+                // Serial job loop; ends when the sender is dropped.
+                for job in rx.iter() {
+                    let result = run_experiment(&mut vp, &job.spec);
+                    // A full results channel cannot happen (unbounded);
+                    // a disconnected one means the executor was dropped —
+                    // finish the loop and return the node either way.
+                    let _ = results.send(FleetResult {
+                        id: job.id,
+                        node: node_name.clone(),
+                        result,
+                    });
+                }
+                vp
+            });
+            workers.insert(name, Worker { tx, handle });
+        }
+        FleetExecutor {
+            workers,
+            results_rx,
+            _results_tx: results_tx,
+            dispatched: 0,
+        }
+    }
+
+    /// Nodes under management.
+    pub fn node_names(&self) -> Vec<String> {
+        self.workers.keys().cloned().collect()
+    }
+
+    /// Queue a job on `node`. Errors if the node is unknown.
+    pub fn dispatch(&mut self, node: &str, job: FleetJob) -> Result<(), String> {
+        let worker = self
+            .workers
+            .get(node)
+            .ok_or_else(|| format!("no such node {node}"))?;
+        worker
+            .tx
+            .send(job)
+            .map_err(|_| format!("worker for {node} is gone"))?;
+        self.dispatched += 1;
+        Ok(())
+    }
+
+    /// Jobs dispatched so far.
+    pub fn dispatched(&self) -> usize {
+        self.dispatched
+    }
+
+    /// Block for the next completed job, if any are outstanding.
+    pub fn next_result(&self) -> Option<FleetResult> {
+        self.results_rx.recv().ok()
+    }
+
+    /// Graceful shutdown: stop accepting jobs, let every worker drain its
+    /// queue, join the threads, and hand the vantage points back along
+    /// with any results not yet collected.
+    pub fn shutdown(self) -> (BTreeMap<String, VantagePoint>, Vec<FleetResult>) {
+        let FleetExecutor {
+            workers,
+            results_rx,
+            _results_tx,
+            ..
+        } = self;
+        // Close job channels: workers exit their loops after draining.
+        let mut nodes = BTreeMap::new();
+        for (name, worker) in workers {
+            drop(worker.tx);
+            let vp = worker.handle.join().expect("worker panicked");
+            nodes.insert(name, vp);
+        }
+        // All workers are gone; drop our sender and drain what's left.
+        drop(_results_tx);
+        let leftovers: Vec<FleetResult> = results_rx.try_iter().collect();
+        (nodes, leftovers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batterylab_automation::Script;
+    use batterylab_controller::VantageConfig;
+    use batterylab_device::boot_j7_duo;
+    use batterylab_sim::SimRng;
+
+    fn fleet(n: usize) -> BTreeMap<String, VantagePoint> {
+        let mut nodes = BTreeMap::new();
+        for i in 0..n {
+            let rng = SimRng::new(800 + i as u64);
+            let mut vp = VantagePoint::new(
+                VantageConfig {
+                    name: format!("node{i}"),
+                    ..VantageConfig::imperial_college()
+                },
+                rng.derive("vp"),
+            );
+            let d = boot_j7_duo(&rng, &format!("dev-{i}"));
+            d.install_package("com.brave.browser");
+            vp.add_device(d);
+            nodes.insert(format!("node{i}"), vp);
+        }
+        nodes
+    }
+
+    fn spec(device: &str) -> ExperimentSpec {
+        ExperimentSpec::measured(
+            device,
+            Script::browser_workload("com.brave.browser", &["https://reuters.com"], 2),
+        )
+    }
+
+    #[test]
+    fn nodes_run_concurrently_and_all_results_arrive() {
+        let mut exec = FleetExecutor::start(fleet(3));
+        for i in 0..3 {
+            exec.dispatch(
+                &format!("node{i}"),
+                FleetJob {
+                    id: JobId(i as u64 + 1),
+                    name: format!("job-{i}"),
+                    spec: spec(&format!("dev-{i}")),
+                },
+            )
+            .unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let r = exec.next_result().expect("result arrives");
+            assert!(r.result.is_ok(), "{:?}", r.result.err());
+            got.push(r.id.0);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+        let (nodes, leftovers) = exec.shutdown();
+        assert_eq!(nodes.len(), 3);
+        assert!(leftovers.is_empty());
+    }
+
+    #[test]
+    fn per_node_jobs_run_in_order() {
+        let mut exec = FleetExecutor::start(fleet(1));
+        for i in 0..3u64 {
+            exec.dispatch(
+                "node0",
+                FleetJob {
+                    id: JobId(i + 1),
+                    name: format!("seq-{i}"),
+                    spec: spec("dev-0"),
+                },
+            )
+            .unwrap();
+        }
+        let order: Vec<u64> = (0..3).map(|_| exec.next_result().unwrap().id.0).collect();
+        assert_eq!(order, vec![1, 2, 3], "serial per node");
+        exec.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let mut exec = FleetExecutor::start(fleet(1));
+        for i in 0..4u64 {
+            exec.dispatch(
+                "node0",
+                FleetJob {
+                    id: JobId(i + 1),
+                    name: format!("drain-{i}"),
+                    spec: spec("dev-0"),
+                },
+            )
+            .unwrap();
+        }
+        // Shut down immediately: the worker must finish everything queued.
+        let (nodes, results) = exec.shutdown();
+        assert_eq!(results.len(), 4, "graceful drain completed all jobs");
+        assert!(results.iter().all(|r| r.result.is_ok()));
+        assert!(nodes.contains_key("node0"));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut exec = FleetExecutor::start(fleet(1));
+        let err = exec
+            .dispatch(
+                "node9",
+                FleetJob {
+                    id: JobId(1),
+                    name: "x".into(),
+                    spec: spec("dev-0"),
+                },
+            )
+            .unwrap_err();
+        assert!(err.contains("no such node"));
+        exec.shutdown();
+    }
+
+    #[test]
+    fn vantage_points_usable_after_shutdown() {
+        let mut exec = FleetExecutor::start(fleet(1));
+        exec.dispatch(
+            "node0",
+            FleetJob {
+                id: JobId(1),
+                name: "warm".into(),
+                spec: spec("dev-0"),
+            },
+        )
+        .unwrap();
+        let (mut nodes, results) = exec.shutdown();
+        assert_eq!(results.len(), 1);
+        // The node came back intact: run the Table 1 API directly.
+        let vp = nodes.get_mut("node0").unwrap();
+        assert_eq!(vp.list_devices(), vec!["dev-0"]);
+        let out = vp.execute_adb("dev-0", "echo still-alive").unwrap();
+        assert_eq!(out, "still-alive\n");
+    }
+}

@@ -1,0 +1,44 @@
+//! # batterylab-server
+//!
+//! The BatteryLab access server (§3.1): account directory with the
+//! role-based authorization matrix ([`auth`]), vantage-point registry with
+//! DNS and wildcard-certificate management ([`registry`]), the SSH channel
+//! to controllers ([`ssh`]), the job model and build queue with
+//! constraint-aware dispatch and workspace retention ([`jobs`],
+//! [`scheduler`]), the maintenance jobs the paper lists ([`maintenance`]),
+//! and the [`AccessServer`] facade tying it together — BatteryLab's
+//! Jenkins, rebuilt.
+
+#![warn(missing_docs)]
+
+mod access;
+pub mod auth;
+pub mod credits;
+pub mod fleet;
+pub mod jobs;
+pub mod maintenance;
+pub mod pipelines;
+pub mod recruitment;
+pub mod registry;
+pub mod remote;
+pub mod scheduler;
+pub mod slots;
+pub mod ssh;
+mod vantage_exec;
+
+pub use access::{AccessServer, ServerError};
+pub use credits::{CreditError, CreditLedger, LedgerEntry};
+pub use fleet::{FleetExecutor, FleetJob, FleetResult};
+pub use recruitment::{Marketplace, Recruitment, RecruitError, TaskState, UsabilityTask};
+pub use remote::ControllerShell;
+pub use auth::{allows, AuthError, AuthService, Permission, Role, Session};
+pub use jobs::{
+    Artifact, BuildRecord, BuildState, Constraints, ExperimentSpec, JobId, Payload, QueuedJob,
+};
+pub use maintenance::MaintenanceReport;
+pub use pipelines::{Pipeline, PipelineError, PipelineStore, ReviewState, Revision};
+pub use registry::{Certificate, NodeRecord, NodeRegistry, RegistryError, CERT_LIFETIME};
+pub use scheduler::{Scheduler, DEFAULT_RETENTION};
+pub use slots::{Slot, SlotCalendar, SlotError};
+pub use ssh::{CommandHandler, SshClient, SshError, SshServer, SshSession};
+pub use vantage_exec::{run_experiment, JobOutcome};

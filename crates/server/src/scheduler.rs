@@ -1,0 +1,382 @@
+//! The build queue and dispatcher: Jenkins' scheduling core (§3.1).
+//!
+//! Dispatch honours experimenter constraints (target node/device,
+//! network location) and BatteryLab constraints (one job at a time per
+//! device; optionally only when the controller CPU is low).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use batterylab_controller::VantagePoint;
+use batterylab_sim::{SimDuration, SimTime};
+
+use crate::jobs::{
+    Artifact, BuildRecord, BuildState, Constraints, JobId, Payload, QueuedJob,
+};
+use crate::slots::SlotCalendar;
+use crate::vantage_exec::{run_experiment, JobOutcome};
+
+/// Workspace retention: "available for several days".
+pub const DEFAULT_RETENTION: SimDuration = SimDuration::from_secs(7 * 24 * 3600);
+
+/// Controller CPU threshold for `require_low_cpu` jobs.
+const LOW_CPU_THRESHOLD: f64 = 0.5;
+
+/// The queue + build history.
+pub struct Scheduler {
+    queue: VecDeque<QueuedJob>,
+    builds: BTreeMap<JobId, BuildRecord>,
+    next_id: u64,
+    retention: SimDuration,
+    /// Devices currently leased by a running job (node, serial).
+    busy: BTreeSet<(String, String)>,
+    /// Time-slot reservations (§3.1 "concurrent timed sessions").
+    slots: SlotCalendar,
+}
+
+impl Scheduler {
+    /// Empty scheduler with the default retention.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: VecDeque::new(),
+            builds: BTreeMap::new(),
+            next_id: 1,
+            retention: DEFAULT_RETENTION,
+            busy: BTreeSet::new(),
+            slots: SlotCalendar::new(),
+        }
+    }
+
+    /// The reservation calendar.
+    pub fn slots(&self) -> &SlotCalendar {
+        &self.slots
+    }
+
+    /// Mutable calendar access (reserve/release).
+    pub fn slots_mut(&mut self) -> &mut SlotCalendar {
+        &mut self.slots
+    }
+
+    /// Override retention (tests).
+    pub fn set_retention(&mut self, retention: SimDuration) {
+        self.retention = retention;
+    }
+
+    /// Enqueue a job; returns its id.
+    pub fn submit(
+        &mut self,
+        name: &str,
+        owner: &str,
+        constraints: Constraints,
+        payload: Payload,
+    ) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.builds.insert(
+            id,
+            BuildRecord {
+                id,
+                name: name.to_string(),
+                owner: owner.to_string(),
+                node: None,
+                state: BuildState::Queued,
+                summary: None,
+                artifacts: Vec::new(),
+                finished_at: None,
+            },
+        );
+        self.queue.push_back(QueuedJob {
+            id,
+            name: name.to_string(),
+            owner: owner.to_string(),
+            constraints,
+            payload,
+        });
+        id
+    }
+
+    /// Jobs waiting.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A build record.
+    pub fn build(&self, id: JobId) -> Option<&BuildRecord> {
+        self.builds.get(&id)
+    }
+
+    /// All builds (history view).
+    pub fn builds(&self) -> impl Iterator<Item = &BuildRecord> {
+        self.builds.values()
+    }
+
+    fn placeable(
+        &self,
+        job: &QueuedJob,
+        nodes: &mut BTreeMap<String, VantagePoint>,
+    ) -> Option<(String, String)> {
+        for (name, vp) in nodes.iter_mut() {
+            if let Some(required) = &job.constraints.node {
+                if required != name {
+                    continue;
+                }
+            }
+            let devices = vp.list_devices();
+            let candidates: Vec<&String> = match &job.constraints.device {
+                Some(d) => devices.iter().filter(|s| *s == d).collect(),
+                None => devices.iter().collect(),
+            };
+            for serial in candidates {
+                if self.busy.contains(&(name.clone(), serial.clone())) {
+                    continue; // one job at a time per device
+                }
+                if job.constraints.require_low_cpu && vp.pi_mut().sample_cpu() > LOW_CPU_THRESHOLD
+                {
+                    continue;
+                }
+                // Honour reservations at the device's current instant.
+                if let Ok(device) = vp.device_handle(serial) {
+                    let now = device.with_sim(|s| s.now());
+                    if !self.slots.may_run(name, serial, &job.owner, now) {
+                        continue;
+                    }
+                }
+                return Some((name.clone(), serial.clone()));
+            }
+        }
+        None
+    }
+
+    /// Dispatch and run the first placeable queued job. Returns the id of
+    /// the build that ran, or `None` when nothing could be placed.
+    ///
+    /// Execution is synchronous on the virtual clock; the busy set still
+    /// matters because `Custom` payloads may leave long-running state.
+    pub fn tick(&mut self, nodes: &mut BTreeMap<String, VantagePoint>) -> Option<JobId> {
+        // Find the first job (FIFO) with a feasible placement.
+        let idx = self.queue.iter().enumerate().find_map(|(i, job)| {
+            self.placeable(job, nodes).map(|placement| (i, placement))
+        });
+        let (i, (node, device)) = idx?;
+        let mut job = self.queue.remove(i).expect("index valid");
+        self.busy.insert((node.clone(), device.clone()));
+        let vp = nodes.get_mut(&node).expect("placement node exists");
+        let result: Result<JobOutcome, String> = match &mut job.payload {
+            Payload::Experiment(spec) => {
+                // Fill the device constraint from placement if unset.
+                if spec.device.is_empty() {
+                    spec.device = device.clone();
+                }
+                run_experiment(vp, spec)
+            }
+            Payload::Custom(f) => f(vp),
+        };
+        self.busy.remove(&(node.clone(), device.clone()));
+        let record = self.builds.get_mut(&job.id).expect("record exists");
+        record.node = Some(node);
+        match result {
+            Ok(outcome) => {
+                record.state = BuildState::Succeeded;
+                record.summary = Some(outcome.summary);
+                record.artifacts = outcome.artifacts;
+                record.finished_at = Some(outcome.finished_at);
+            }
+            Err(err) => {
+                record.state = BuildState::Failed(err);
+                record.finished_at = Some(
+                    vp_now(nodes.values().next()).unwrap_or(SimTime::ZERO),
+                );
+            }
+        }
+        Some(job.id)
+    }
+
+    /// Run the queue until nothing is placeable ("graceful drain").
+    pub fn drain(&mut self, nodes: &mut BTreeMap<String, VantagePoint>) -> Vec<JobId> {
+        let mut ran = Vec::new();
+        while let Some(id) = self.tick(nodes) {
+            ran.push(id);
+        }
+        ran
+    }
+
+    /// Prune expired workspaces (artifacts dropped, record kept).
+    pub fn prune_workspaces(&mut self, now: SimTime) -> usize {
+        let retention = self.retention;
+        let mut pruned = 0;
+        for record in self.builds.values_mut() {
+            if !record.artifacts.is_empty() && record.expired(now, retention) {
+                record.artifacts = vec![Artifact {
+                    name: "RETENTION".to_string(),
+                    content: "workspace expired".to_string(),
+                }];
+                pruned += 1;
+            }
+        }
+        pruned
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn vp_now(vp: Option<&VantagePoint>) -> Option<SimTime> {
+    let vp = vp?;
+    let serial = vp.list_devices().into_iter().next()?;
+    vp.device_handle(&serial)
+        .ok()
+        .map(|d| d.with_sim(|s| s.now()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::ExperimentSpec;
+    use batterylab_automation::Script;
+    use batterylab_controller::VantageConfig;
+    use batterylab_device::boot_j7_duo;
+    use batterylab_sim::SimRng;
+
+    fn nodes() -> BTreeMap<String, VantagePoint> {
+        let rng = SimRng::new(41);
+        let mut vp = VantagePoint::new(VantageConfig::imperial_college(), rng.derive("vp"));
+        let d = boot_j7_duo(&rng, "sched-dev");
+        d.install_package("com.brave.browser");
+        vp.add_device(d);
+        let mut m = BTreeMap::new();
+        m.insert("node1".to_string(), vp);
+        m
+    }
+
+    fn job_spec() -> ExperimentSpec {
+        ExperimentSpec::measured(
+            "sched-dev",
+            Script::browser_workload("com.brave.browser", &["https://a.example"], 2),
+        )
+    }
+
+    #[test]
+    fn fifo_dispatch_and_success() {
+        let mut nodes = nodes();
+        let mut s = Scheduler::new();
+        let a = s.submit("job-a", "alice", Constraints::default(), Payload::Experiment(job_spec()));
+        let b = s.submit("job-b", "alice", Constraints::default(), Payload::Experiment(job_spec()));
+        assert_eq!(s.queue_len(), 2);
+        assert_eq!(s.tick(&mut nodes), Some(a));
+        assert_eq!(s.tick(&mut nodes), Some(b));
+        assert_eq!(s.tick(&mut nodes), None);
+        assert_eq!(s.build(a).unwrap().state, BuildState::Succeeded);
+        assert_eq!(s.build(a).unwrap().node.as_deref(), Some("node1"));
+        assert!(s.build(a).unwrap().summary.as_ref().unwrap()["discharge_mah"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn node_constraint_must_match() {
+        let mut nodes = nodes();
+        let mut s = Scheduler::new();
+        let id = s.submit(
+            "wrong-node",
+            "alice",
+            Constraints {
+                node: Some("node9".to_string()),
+                ..Default::default()
+            },
+            Payload::Experiment(job_spec()),
+        );
+        assert_eq!(s.tick(&mut nodes), None, "no such node: job stays queued");
+        assert_eq!(s.build(id).unwrap().state, BuildState::Queued);
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn device_constraint_must_match() {
+        let mut nodes = nodes();
+        let mut s = Scheduler::new();
+        s.submit(
+            "wrong-device",
+            "alice",
+            Constraints {
+                device: Some("ghost".to_string()),
+                ..Default::default()
+            },
+            Payload::Experiment(job_spec()),
+        );
+        assert_eq!(s.tick(&mut nodes), None);
+        // A feasible job behind it still dispatches (queue skips blocked).
+        let ok = s.submit("ok", "alice", Constraints::default(), Payload::Experiment(job_spec()));
+        assert_eq!(s.tick(&mut nodes), Some(ok));
+    }
+
+    #[test]
+    fn failed_job_records_error() {
+        let mut nodes = nodes();
+        let mut s = Scheduler::new();
+        let mut spec = job_spec();
+        spec.device = "ghost".to_string();
+        let id = s.submit(
+            "bad",
+            "alice",
+            Constraints::default(),
+            Payload::Experiment(spec),
+        );
+        s.tick(&mut nodes);
+        assert!(matches!(s.build(id).unwrap().state, BuildState::Failed(_)));
+    }
+
+    #[test]
+    fn custom_payload_runs() {
+        let mut nodes = nodes();
+        let mut s = Scheduler::new();
+        let id = s.submit(
+            "custom",
+            "alice",
+            Constraints::default(),
+            Payload::Custom(Box::new(|vp| {
+                Ok(JobOutcome {
+                    summary: serde_json::json!({"devices": vp.list_devices()}),
+                    artifacts: vec![],
+                    finished_at: SimTime::ZERO,
+                })
+            })),
+        );
+        s.tick(&mut nodes);
+        let b = s.build(id).unwrap();
+        assert_eq!(b.state, BuildState::Succeeded);
+        assert_eq!(b.summary.as_ref().unwrap()["devices"][0], "sched-dev");
+    }
+
+    #[test]
+    fn workspace_retention_prunes_artifacts() {
+        let mut nodes = nodes();
+        let mut s = Scheduler::new();
+        s.set_retention(SimDuration::from_secs(10));
+        let id = s.submit("j", "alice", Constraints::default(), Payload::Experiment(job_spec()));
+        s.tick(&mut nodes);
+        assert!(!s.build(id).unwrap().artifacts.is_empty());
+        let finished = s.build(id).unwrap().finished_at.unwrap();
+        let pruned = s.prune_workspaces(finished + SimDuration::from_secs(11));
+        assert_eq!(pruned, 1);
+        assert_eq!(s.build(id).unwrap().artifacts[0].name, "RETENTION");
+        // Second prune is a no-op (already marked).
+        assert_eq!(s.prune_workspaces(finished + SimDuration::from_secs(12)), 1);
+    }
+
+    #[test]
+    fn drain_runs_everything_placeable() {
+        let mut nodes = nodes();
+        let mut s = Scheduler::new();
+        for i in 0..3 {
+            s.submit(
+                &format!("job-{i}"),
+                "alice",
+                Constraints::default(),
+                Payload::Experiment(job_spec()),
+            );
+        }
+        let ran = s.drain(&mut nodes);
+        assert_eq!(ran.len(), 3);
+        assert_eq!(s.queue_len(), 0);
+    }
+}

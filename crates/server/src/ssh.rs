@@ -1,0 +1,302 @@
+//! The SSH channel between access server and controllers (§3.1, §3.4).
+//!
+//! "The access server communicates with the vantage points via SSH. New
+//! members grant SSH access from the server to the controller via public
+//! key and IP white-listing."
+//!
+//! We keep SSH's observable structure — host-key verification against a
+//! `known_hosts` store, public-key client authentication against the
+//! node's `authorized_keys`, and a framed exec request/response channel
+//! (length-prefixed, like SSH's binary packet protocol) — over the
+//! simulated network.
+
+use std::collections::BTreeMap;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// SSH faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SshError {
+    /// Server host key did not match `known_hosts` (possible MITM).
+    HostKeyMismatch {
+        /// What the server presented.
+        presented: String,
+        /// What we had pinned.
+        pinned: String,
+    },
+    /// Client key not in `authorized_keys`.
+    AuthFailed(String),
+    /// Malformed frame on the wire.
+    Framing(String),
+    /// Remote command failed.
+    ExitNonZero {
+        /// Exit status.
+        code: i32,
+        /// Stderr-ish output.
+        stderr: String,
+    },
+}
+
+impl std::fmt::Display for SshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SshError::HostKeyMismatch { presented, pinned } => {
+                write!(f, "host key {presented} does not match pinned {pinned}")
+            }
+            SshError::AuthFailed(fp) => write!(f, "key {fp} not authorized"),
+            SshError::Framing(m) => write!(f, "framing: {m}"),
+            SshError::ExitNonZero { code, stderr } => {
+                write!(f, "remote command exited {code}: {stderr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SshError {}
+
+/// Length-prefixed frame encode (the channel's packet protocol).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Decode one frame from the front of `buf`; `None` when incomplete.
+pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Vec<u8>>, SshError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > 16 * 1024 * 1024 {
+        return Err(SshError::Framing(format!("frame of {len} bytes")));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    Ok(Some(buf.split_to(len).to_vec()))
+}
+
+/// What a controller does with an exec request.
+pub trait CommandHandler {
+    /// Run `cmd`; `Err` becomes a non-zero exit.
+    fn handle(&mut self, cmd: &str) -> Result<String, String>;
+}
+
+impl<F: FnMut(&str) -> Result<String, String>> CommandHandler for F {
+    fn handle(&mut self, cmd: &str) -> Result<String, String> {
+        self(cmd)
+    }
+}
+
+/// The sshd on a controller.
+pub struct SshServer {
+    host_key: String,
+    authorized_keys: Vec<String>,
+    sessions_served: u32,
+}
+
+impl SshServer {
+    /// An sshd presenting `host_key`, trusting `authorized_keys`.
+    pub fn new(host_key: &str, authorized_keys: Vec<String>) -> Self {
+        SshServer {
+            host_key: host_key.to_string(),
+            authorized_keys,
+            sessions_served: 0,
+        }
+    }
+
+    /// The host key presented during key exchange.
+    pub fn host_key(&self) -> &str {
+        &self.host_key
+    }
+
+    /// Grant another key (§3.4 enrolment step).
+    pub fn authorize_key(&mut self, fingerprint: &str) {
+        if !self.authorized_keys.iter().any(|k| k == fingerprint) {
+            self.authorized_keys.push(fingerprint.to_string());
+        }
+    }
+
+    /// Sessions accepted so far.
+    pub fn sessions_served(&self) -> u32 {
+        self.sessions_served
+    }
+
+    fn authenticate(&mut self, client_key: &str) -> Result<(), SshError> {
+        if self.authorized_keys.iter().any(|k| k == client_key) {
+            self.sessions_served += 1;
+            Ok(())
+        } else {
+            Err(SshError::AuthFailed(client_key.to_string()))
+        }
+    }
+}
+
+/// The access server's SSH client with its pinned `known_hosts`.
+pub struct SshClient {
+    key_fingerprint: String,
+    known_hosts: BTreeMap<String, String>,
+}
+
+impl SshClient {
+    /// A client identified by `key_fingerprint`.
+    pub fn new(key_fingerprint: &str) -> Self {
+        SshClient {
+            key_fingerprint: key_fingerprint.to_string(),
+            known_hosts: BTreeMap::new(),
+        }
+    }
+
+    /// Pin a host key for `host` (learned at enrolment).
+    pub fn pin_host(&mut self, host: &str, host_key: &str) {
+        self.known_hosts
+            .insert(host.to_string(), host_key.to_string());
+    }
+
+    /// Open a session to `host` via `server` and return it.
+    pub fn connect<'s>(
+        &self,
+        host: &str,
+        server: &'s mut SshServer,
+    ) -> Result<SshSession<'s>, SshError> {
+        if let Some(pinned) = self.known_hosts.get(host) {
+            if pinned != &server.host_key {
+                return Err(SshError::HostKeyMismatch {
+                    presented: server.host_key.clone(),
+                    pinned: pinned.clone(),
+                });
+            }
+        }
+        server.authenticate(&self.key_fingerprint)?;
+        Ok(SshSession { server })
+    }
+}
+
+/// An authenticated exec channel.
+pub struct SshSession<'s> {
+    server: &'s mut SshServer,
+}
+
+impl SshSession<'_> {
+    /// Execute `cmd` on the remote handler, round-tripping through the
+    /// framed packet protocol (so framing bugs would surface here).
+    pub fn exec<H: CommandHandler>(
+        &mut self,
+        handler: &mut H,
+        cmd: &str,
+    ) -> Result<String, SshError> {
+        let _ = &self.server; // session keeps the server borrow alive
+        // Client → server.
+        let wire = encode_frame(cmd.as_bytes());
+        let mut rx = BytesMut::from(&wire[..]);
+        let frame = decode_frame(&mut rx)?
+            .ok_or_else(|| SshError::Framing("truncated request".to_string()))?;
+        let request =
+            String::from_utf8(frame).map_err(|_| SshError::Framing("non-utf8".to_string()))?;
+        // Server executes.
+        let (code, body) = match handler.handle(&request) {
+            Ok(out) => (0i32, out),
+            Err(err) => (1i32, err),
+        };
+        // Server → client: status frame + body frame.
+        let mut reply = BytesMut::new();
+        let mut status = Vec::new();
+        status.put_i32(code);
+        reply.extend_from_slice(&encode_frame(&status));
+        reply.extend_from_slice(&encode_frame(body.as_bytes()));
+        let status_frame = decode_frame(&mut reply)?
+            .ok_or_else(|| SshError::Framing("missing status".to_string()))?;
+        let body_frame = decode_frame(&mut reply)?
+            .ok_or_else(|| SshError::Framing("missing body".to_string()))?;
+        let code = i32::from_be_bytes(
+            status_frame
+                .as_slice()
+                .try_into()
+                .map_err(|_| SshError::Framing("bad status".to_string()))?,
+        );
+        let body = String::from_utf8_lossy(&body_frame).into_owned();
+        if code != 0 {
+            return Err(SshError::ExitNonZero { code, stderr: body });
+        }
+        Ok(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = BytesMut::from(&encode_frame(b"hello")[..]);
+        assert_eq!(decode_frame(&mut buf).unwrap().unwrap(), b"hello");
+        assert_eq!(decode_frame(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn partial_frame_waits() {
+        let wire = encode_frame(b"abcdef");
+        let mut buf = BytesMut::from(&wire[..5]);
+        assert_eq!(decode_frame(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(64 * 1024 * 1024);
+        assert!(matches!(decode_frame(&mut buf), Err(SshError::Framing(_))));
+    }
+
+    #[test]
+    fn pubkey_auth_gate() {
+        let mut server = SshServer::new("hk:node1", vec!["fp:server".to_string()]);
+        let good = SshClient::new("fp:server");
+        let bad = SshClient::new("fp:intruder");
+        assert!(good.connect("node1", &mut server).is_ok());
+        assert!(matches!(
+            bad.connect("node1", &mut server).map(|_| ()),
+            Err(SshError::AuthFailed(_))
+        ));
+        assert_eq!(server.sessions_served(), 1);
+    }
+
+    #[test]
+    fn host_key_pinning_detects_mitm() {
+        let mut server = SshServer::new("hk:evil", vec!["fp:server".to_string()]);
+        let mut client = SshClient::new("fp:server");
+        client.pin_host("node1", "hk:node1");
+        assert!(matches!(
+            client.connect("node1", &mut server).map(|_| ()),
+            Err(SshError::HostKeyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn exec_round_trip_and_errors() {
+        let mut server = SshServer::new("hk:n", vec!["fp:s".to_string()]);
+        let client = SshClient::new("fp:s");
+        let mut session = client.connect("n", &mut server).unwrap();
+        let mut handler = |cmd: &str| -> Result<String, String> {
+            match cmd {
+                "uptime" => Ok("up 3 days".to_string()),
+                other => Err(format!("sh: {other}: not found")),
+            }
+        };
+        assert_eq!(session.exec(&mut handler, "uptime").unwrap(), "up 3 days");
+        assert!(matches!(
+            session.exec(&mut handler, "bogus").unwrap_err(),
+            SshError::ExitNonZero { code: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn authorize_key_is_idempotent() {
+        let mut server = SshServer::new("hk", vec![]);
+        server.authorize_key("fp:a");
+        server.authorize_key("fp:a");
+        let client = SshClient::new("fp:a");
+        assert!(client.connect("h", &mut server).is_ok());
+    }
+}

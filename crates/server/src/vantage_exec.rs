@@ -1,0 +1,238 @@
+//! Executing a declarative [`ExperimentSpec`](crate::jobs::ExperimentSpec)
+//! against a vantage point: the sequence a Jenkins pipeline performs —
+//! VPN, meter power, bypass, optional mirroring, run the script over
+//! ADB-WiFi, collect power report and logcat, and leave the bench safe
+//! (meter off) afterwards.
+
+use batterylab_automation::{AdbBackend, AutomationBackend};
+use batterylab_adb::TransportKind;
+use batterylab_controller::{ControllerError, VantagePoint};
+use batterylab_sim::SimTime;
+
+use crate::jobs::{Artifact, ExperimentSpec};
+
+/// What a payload returns into the build record.
+pub struct JobOutcome {
+    /// Structured summary.
+    pub summary: serde_json::Value,
+    /// Workspace artifacts.
+    pub artifacts: Vec<Artifact>,
+    /// Device-clock completion instant (drives retention).
+    pub finished_at: SimTime,
+}
+
+fn ctl(e: ControllerError) -> String {
+    format!("controller: {e}")
+}
+
+/// Run `spec` on `vp`. Leaves the power meter off afterwards regardless of
+/// outcome (the safety discipline the paper's maintenance jobs enforce).
+pub fn run_experiment(vp: &mut VantagePoint, spec: &ExperimentSpec) -> Result<JobOutcome, String> {
+    let result = run_inner(vp, spec);
+    if result.is_err() {
+        // A job that died mid-run must not wedge the bench: abort any
+        // dangling measurement, release the bypass, drop mirroring/VPN.
+        if vp.measurement_active() {
+            let _ = vp.abort_monitor();
+        }
+        if vp.is_mirroring(&spec.device) {
+            let _ = vp.device_mirroring(&spec.device);
+        }
+        if vp.vpn_location().is_some() {
+            let _ = vp.disconnect_vpn();
+        }
+        // batt_switch toggles; only flip back if the device holds the bypass.
+        if let Ok(device) = vp.device_handle(&spec.device) {
+            use batterylab_device::PowerSource;
+            if device.with_sim(|s| s.state().power_source) == PowerSource::MonsoonBypass {
+                let _ = vp.batt_switch(&spec.device);
+            }
+        }
+    }
+    // Safety: never leave the Monsoon energised after a job.
+    if matches!(vp.power_monitor(), Ok(state) if state == batterylab_power::SocketState::On) {
+        // We just toggled it back on — toggle once more to turn it off.
+        let _ = vp.power_monitor();
+    }
+    result
+}
+
+fn run_inner(vp: &mut VantagePoint, spec: &ExperimentSpec) -> Result<JobOutcome, String> {
+    // 1. Network location.
+    match spec.vpn {
+        Some(loc) => vp.connect_vpn(loc).map_err(ctl)?,
+        None => {
+            if vp.vpn_location().is_some() {
+                vp.disconnect_vpn().map_err(ctl)?;
+            }
+        }
+    }
+
+    // 2. Meter + bypass.
+    if spec.measure {
+        if !matches!(vp.power_monitor(), Ok(batterylab_power::SocketState::On)) {
+            // power_monitor() toggles; if it reported Off we toggle again.
+            vp.power_monitor().map_err(ctl)?;
+        }
+        vp.set_voltage(4.0).map_err(ctl)?;
+        vp.batt_switch(&spec.device).map_err(ctl)?;
+    }
+
+    // 3. Mirroring (before the measurement starts, like the GUI flow).
+    if spec.mirroring && !vp.is_mirroring(&spec.device) {
+        vp.device_mirroring(&spec.device).map_err(ctl)?;
+    }
+
+    // 4. Measure around the script.
+    if spec.measure {
+        vp.start_monitor(&spec.device).map_err(ctl)?;
+    }
+
+    let device = vp.device_handle(&spec.device).map_err(ctl)?;
+    let mut backend = AdbBackend::connect(device, TransportKind::WiFi, vp.adb_key().clone())
+        .map_err(|e| format!("automation: {e}"))?;
+    backend
+        .run_script(&spec.script)
+        .map_err(|e| format!("automation: {e}"))?;
+
+    let mut artifacts = Vec::new();
+    let mut summary = serde_json::json!({
+        "job": spec.script.name,
+        "device": spec.device,
+        "mirroring": spec.mirroring,
+        "vpn": spec.vpn.map(|l| l.country().to_string()),
+    });
+
+    if spec.mirroring {
+        vp.pump_mirrors().map_err(ctl)?;
+        summary["mirror_upload_bytes"] = serde_json::json!(vp.mirror_upload_bytes());
+    }
+
+    let finished_at;
+    if spec.measure {
+        let report = vp.stop_monitor_at_rate(spec.sample_rate_hz).map_err(ctl)?;
+        finished_at = report.window.1;
+        summary["discharge_mah"] = serde_json::json!(report.mah());
+        summary["mean_ma"] = serde_json::json!(report.mean_ma());
+        summary["duration_s"] =
+            serde_json::json!((report.window.1 - report.window.0).as_secs_f64());
+        artifacts.push(Artifact {
+            name: "power_summary.json".to_string(),
+            content: serde_json::json!({
+                "voltage_v": report.voltage_v,
+                "rate_hz": report.rate_hz,
+                "samples": report.samples.len(),
+                "mean_ma": report.mean_ma(),
+                "mah": report.mah(),
+            })
+            .to_string(),
+        });
+        // Return the device to its battery.
+        vp.batt_switch(&spec.device).map_err(ctl)?;
+    } else {
+        let device = vp.device_handle(&spec.device).map_err(ctl)?;
+        finished_at = device.with_sim(|s| s.now());
+    }
+
+    // 5. Logs.
+    if spec.collect_logcat {
+        let logcat = vp
+            .execute_adb(&spec.device, "logcat -d")
+            .map_err(ctl)?;
+        artifacts.push(Artifact {
+            name: "logcat.txt".to_string(),
+            content: logcat,
+        });
+    }
+
+    // 6. Teardown: mirroring off, VPN down.
+    if spec.mirroring && vp.is_mirroring(&spec.device) {
+        vp.device_mirroring(&spec.device).map_err(ctl)?;
+    }
+    if vp.vpn_location().is_some() {
+        vp.disconnect_vpn().map_err(ctl)?;
+    }
+
+    Ok(JobOutcome {
+        summary,
+        artifacts,
+        finished_at,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batterylab_automation::Script;
+    use batterylab_controller::VantageConfig;
+    use batterylab_device::boot_j7_duo;
+    use batterylab_net::VpnLocation;
+    use batterylab_sim::SimRng;
+
+    fn vantage() -> VantagePoint {
+        let rng = SimRng::new(31);
+        let mut vp = VantagePoint::new(VantageConfig::imperial_college(), rng.derive("vp"));
+        let device = boot_j7_duo(&rng, "exec-dev");
+        device.install_package("com.brave.browser");
+        vp.add_device(device);
+        vp
+    }
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec::measured(
+            "exec-dev",
+            Script::browser_workload("com.brave.browser", &["https://news.example"], 2),
+        )
+    }
+
+    #[test]
+    fn measured_job_produces_power_artifacts() {
+        let mut vp = vantage();
+        let outcome = run_experiment(&mut vp, &spec()).unwrap();
+        assert!(outcome.summary["discharge_mah"].as_f64().unwrap() > 0.0);
+        let names: Vec<&str> = outcome.artifacts.iter().map(|a| a.name.as_str()).collect();
+        assert!(names.contains(&"power_summary.json"));
+        assert!(names.contains(&"logcat.txt"));
+    }
+
+    #[test]
+    fn meter_left_off_after_job() {
+        let mut vp = vantage();
+        run_experiment(&mut vp, &spec()).unwrap();
+        // Toggling reports On if it was off.
+        assert_eq!(
+            vp.power_monitor().unwrap(),
+            batterylab_power::SocketState::On,
+            "meter was off after the job (toggle turned it on)"
+        );
+    }
+
+    #[test]
+    fn vpn_job_tunnels_then_tears_down() {
+        let mut vp = vantage();
+        let mut s = spec();
+        s.vpn = Some(VpnLocation::Brazil);
+        let outcome = run_experiment(&mut vp, &s).unwrap();
+        assert_eq!(outcome.summary["vpn"], serde_json::json!("Brazil"));
+        assert!(vp.vpn_location().is_none(), "tunnel torn down after job");
+    }
+
+    #[test]
+    fn mirrored_job_reports_upload() {
+        let mut vp = vantage();
+        let mut s = spec();
+        s.mirroring = true;
+        let outcome = run_experiment(&mut vp, &s).unwrap();
+        assert!(outcome.summary["mirror_upload_bytes"].is_number());
+        assert!(!vp.is_mirroring("exec-dev"));
+    }
+
+    #[test]
+    fn unknown_device_fails_cleanly() {
+        let mut vp = vantage();
+        let mut s = spec();
+        s.device = "ghost".to_string();
+        let err = run_experiment(&mut vp, &s).map(|_| ()).unwrap_err();
+        assert!(err.contains("no such device"), "{err}");
+    }
+}

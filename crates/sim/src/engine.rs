@@ -1,0 +1,274 @@
+//! A small deterministic discrete-event engine.
+//!
+//! The engine owns a user-supplied context `C` (the "world") and a priority
+//! queue of timestamped events. Each event is a boxed closure receiving
+//! `(&mut Engine<C>)`; closures may schedule further events. Ties in time are
+//! broken by insertion order, which makes execution fully deterministic.
+//!
+//! This is intentionally simple — in the spirit of smoltcp, robustness and
+//! predictability beat cleverness. Device models, radio tail timers, encoder
+//! frame clocks and the measurement samplers all run on this engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An event callback. Receives the engine so it can read the clock and
+/// schedule follow-up events, plus the world context.
+pub type Event<C> = Box<dyn FnOnce(&mut Engine<C>, &mut C)>;
+
+struct Scheduled<C> {
+    at: SimTime,
+    seq: u64,
+    event: Event<C>,
+}
+
+impl<C> PartialEq for Scheduled<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<C> Eq for Scheduled<C> {}
+impl<C> PartialOrd for Scheduled<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<C> Ord for Scheduled<C> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic discrete-event scheduler.
+pub struct Engine<C> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<C>>,
+    executed: u64,
+}
+
+impl<C> Engine<C> {
+    /// A fresh engine at `t = 0`.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to run
+    /// "now" (still after the currently executing event) rather than
+    /// panicking, because device models occasionally round durations down to
+    /// the current instant.
+    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut Engine<C>, &mut C) + 'static) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            event: Box::new(event),
+        });
+    }
+
+    /// Schedule `event` to run after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: impl FnOnce(&mut Engine<C>, &mut C) + 'static) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Run events until the queue is empty or `deadline` is reached.
+    /// The clock is left at `deadline` (or at the last event if the queue
+    /// drained first and `advance_to_deadline` is requested via
+    /// [`Engine::run_until`]).
+    pub fn run_until(&mut self, ctx: &mut C, deadline: SimTime) {
+        while let Some(next) = self.queue.peek() {
+            if next.at > deadline {
+                break;
+            }
+            let scheduled = self.queue.pop().expect("peeked event vanished");
+            self.now = scheduled.at;
+            self.executed += 1;
+            (scheduled.event)(self, ctx);
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run a fixed span of virtual time.
+    pub fn run_for(&mut self, ctx: &mut C, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(ctx, deadline);
+    }
+
+    /// Run until the event queue is empty. Returns the time of the last
+    /// event executed. Use with care: a self-rearming timer never drains.
+    pub fn run_to_completion(&mut self, ctx: &mut C) -> SimTime {
+        while let Some(scheduled) = self.queue.pop() {
+            self.now = scheduled.at;
+            self.executed += 1;
+            (scheduled.event)(self, ctx);
+        }
+        self.now
+    }
+
+    /// Drop all pending events (used by teardown paths).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+impl<C> Default for Engine<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A periodic timer helper: reschedules itself every `period` until the
+/// callback returns `false`. The first tick fires at `now + period`.
+pub fn every<C: 'static>(
+    engine: &mut Engine<C>,
+    period: SimDuration,
+    tick: impl FnMut(&mut Engine<C>, &mut C) -> bool + 'static,
+) {
+    assert!(!period.is_zero(), "periodic timer with zero period");
+    arm_periodic(engine, period, Box::new(tick));
+}
+
+fn arm_periodic<C: 'static>(
+    engine: &mut Engine<C>,
+    period: SimDuration,
+    mut tick: Box<dyn FnMut(&mut Engine<C>, &mut C) -> bool>,
+) {
+    engine.schedule_in(period, move |eng, ctx| {
+        if tick(eng, ctx) {
+            arm_periodic(eng, period, tick);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut world = World::default();
+        eng.schedule_at(SimTime::from_secs(3), |e, w| w.log.push((e.now().as_micros(), "c")));
+        eng.schedule_at(SimTime::from_secs(1), |e, w| w.log.push((e.now().as_micros(), "a")));
+        eng.schedule_at(SimTime::from_secs(2), |e, w| w.log.push((e.now().as_micros(), "b")));
+        eng.run_to_completion(&mut world);
+        assert_eq!(
+            world.log,
+            vec![(1_000_000, "a"), (2_000_000, "b"), (3_000_000, "c")]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut world = World::default();
+        let t = SimTime::from_secs(1);
+        eng.schedule_at(t, |_, w| w.log.push((0, "first")));
+        eng.schedule_at(t, |_, w| w.log.push((0, "second")));
+        eng.run_to_completion(&mut world);
+        assert_eq!(world.log, vec![(0, "first"), (0, "second")]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut world = World::default();
+        eng.schedule_in(SimDuration::from_secs(1), |e, _| {
+            e.schedule_in(SimDuration::from_secs(1), |e, w| {
+                w.log.push((e.now().as_micros(), "nested"));
+            });
+        });
+        eng.run_to_completion(&mut world);
+        assert_eq!(world.log, vec![(2_000_000, "nested")]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline_and_advances_clock() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut world = World::default();
+        eng.schedule_at(SimTime::from_secs(5), |_, w| w.log.push((0, "late")));
+        eng.run_until(&mut world, SimTime::from_secs(2));
+        assert!(world.log.is_empty());
+        assert_eq!(eng.now(), SimTime::from_secs(2));
+        assert_eq!(eng.pending(), 1);
+        eng.run_until(&mut world, SimTime::from_secs(10));
+        assert_eq!(world.log.len(), 1);
+        assert_eq!(eng.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut world = World::default();
+        eng.schedule_at(SimTime::from_secs(2), |e, _| {
+            e.schedule_at(SimTime::from_secs(1), |e, w| {
+                w.log.push((e.now().as_micros(), "clamped"));
+            });
+        });
+        eng.run_to_completion(&mut world);
+        assert_eq!(world.log, vec![(2_000_000, "clamped")]);
+    }
+
+    #[test]
+    fn periodic_timer_runs_until_false() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut world = World::default();
+        let mut count = 0u32;
+        every(&mut eng, SimDuration::from_millis(100), move |e, w| {
+            count += 1;
+            w.log.push((e.now().as_micros(), "tick"));
+            count < 3
+        });
+        eng.run_to_completion(&mut world);
+        assert_eq!(world.log.len(), 3);
+        assert_eq!(world.log[2].0, 300_000);
+    }
+
+    #[test]
+    fn executed_counter() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut world = World::default();
+        for i in 0..10 {
+            eng.schedule_at(SimTime::from_millis(i), |_, _| {});
+        }
+        eng.run_to_completion(&mut world);
+        assert_eq!(eng.events_executed(), 10);
+    }
+}

@@ -1,0 +1,248 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic element of the simulation (ADC noise, page-size jitter,
+//! network loss, scheduling jitter) draws from a [`SimRng`] derived from the
+//! experiment seed. Independent subsystems derive independent *streams* by
+//! label, so adding a consumer in one subsystem does not perturb another.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A labelled, seedable random stream.
+///
+/// Wraps [`StdRng`] and adds the handful of distributions the simulators
+/// need (Gaussian, log-normal, exponential) without pulling in `rand_distr`.
+pub struct SimRng {
+    rng: StdRng,
+    seed: u64,
+    label: String,
+}
+
+impl SimRng {
+    /// Root stream for an experiment seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            label: String::from("root"),
+        }
+    }
+
+    /// Derive an independent child stream identified by `label`.
+    ///
+    /// The child's seed is a stable hash of the parent seed and the label,
+    /// so derivation order does not matter and streams never alias unless
+    /// labels collide.
+    pub fn derive(&self, label: &str) -> SimRng {
+        let child_seed = splitmix(self.seed ^ fnv1a(label.as_bytes()));
+        SimRng {
+            rng: StdRng::seed_from_u64(child_seed),
+            seed: child_seed,
+            label: format!("{}/{}", self.label, label),
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The derivation path of this stream (diagnostics only).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() on empty range");
+        self.rng.random_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit() < p
+        }
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0).
+        let u1 = loop {
+            let u = self.unit();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Normal clamped to `[lo, hi]` — used for physical quantities that
+    /// cannot go negative (currents, sizes, delays).
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+        self.normal(mean, std_dev).clamp(lo, hi)
+    }
+
+    /// Log-normal parameterised by the *target* median and a multiplicative
+    /// spread sigma (sigma of the underlying normal in log-space).
+    pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
+        (median.max(f64::MIN_POSITIVE)).exp_ln_mul(self.normal(0.0, sigma))
+    }
+
+    /// Exponential with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.unit();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick a reference to a random element. Panics on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+}
+
+trait ExpLnMul {
+    fn exp_ln_mul(self, z: f64) -> f64;
+}
+
+impl ExpLnMul for f64 {
+    /// `exp(ln(self) + z)` — multiply `self` by `e^z`, used by the
+    /// log-normal sampler.
+    fn exp_ln_mul(self, z: f64) -> f64 {
+        (self.ln() + z).exp()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn derive_is_order_independent() {
+        let root = SimRng::new(42);
+        let mut x1 = root.derive("monsoon");
+        let _ = root.derive("device");
+        let mut x2 = SimRng::new(42).derive("monsoon");
+        for _ in 0..50 {
+            assert_eq!(x1.unit().to_bits(), x2.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let root = SimRng::new(1);
+        let mut a = root.derive("a");
+        let mut b = root.derive("b");
+        let same = (0..32).filter(|_| a.unit().to_bits() == b.unit().to_bits()).count();
+        assert!(same < 4, "streams should be effectively independent");
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = SimRng::new(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn chance_edges() {
+        let mut rng = SimRng::new(9);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-3.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::new(11);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(5);
+        let mut v: Vec<u32> = (0..64).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let mut rng = SimRng::new(8);
+        for _ in 0..1000 {
+            let x = rng.normal_clamped(0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # batterylab-workloads
+//!
+//! The workloads of the paper's evaluation: browser engine profiles for
+//! Chrome, Firefox, Edge and Brave ([`BrowserProfile`]), the ten-news-site
+//! catalog with content/ad manifests ([`news_sites`]), and the
+//! [`BrowserRunner`] that executes the §4.2 load-dwell-scroll workload
+//! against a simulated device through any automation backend. The Fig. 2
+//! video workload is `DeviceSim::play_video` driven directly.
+
+#![warn(missing_docs)]
+
+mod browsers;
+mod runner;
+mod sites;
+mod video;
+
+pub use browsers::BrowserProfile;
+pub use video::{stream_video, StreamProfile, StreamStats};
+pub use runner::{BrowserRunner, PageVisit, WorkloadStats, PAGE_DWELL};
+pub use sites::{news_sites, Website};

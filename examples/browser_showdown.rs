@@ -1,0 +1,40 @@
+//! The §4.2 demonstration: *which of today's Android browsers is the most
+//! energy efficient?*
+//!
+//! Automates Chrome, Firefox, Edge and Brave over ADB-WiFi against the
+//! ten-news-site workload, measures each with the Monsoon, and prints the
+//! Figure 3 bars (plus the Figure 4 CPU medians). Jobs go through the
+//! access server's queue, exactly like an experimenter's pipeline.
+//!
+//! ```sh
+//! cargo run --release --example browser_showdown          # quick pass
+//! cargo run --release --example browser_showdown -- full  # paper-scale
+//! ```
+
+use batterylab::eval::{fig3, fig4, EvalConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let config = if full {
+        EvalConfig::default()
+    } else {
+        EvalConfig::quick(2019)
+    };
+    println!(
+        "running the browser workload: {} sites x {} reps x 4 browsers x 2 mirroring modes...\n",
+        config.sites, config.reps
+    );
+
+    let f3 = fig3::run(&config);
+    println!("{}", f3.render());
+    println!("ranking (cheapest first): {:?}\n", f3.ranking());
+
+    let f4 = fig4::run(&config);
+    println!("{}", f4.render());
+
+    let brave = f4.line("Brave", false).cpu.median();
+    let chrome = f4.line("Chrome", false).cpu.median();
+    println!(
+        "paper check: Brave median CPU {brave:.0}% (paper ~12%), Chrome {chrome:.0}% (paper ~20%)"
+    );
+}

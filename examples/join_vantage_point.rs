@@ -1,0 +1,116 @@
+//! The §3.4 "How to Join?" flow, end to end: an institution brings up a
+//! controller, opens the required ports, and the admin enrols it — DNS
+//! record, wildcard cert deploy, SSH key exchange — then proves the node
+//! works by running a first measured job on it.
+//!
+//! ```sh
+//! cargo run --example join_vantage_point
+//! ```
+
+use batterylab::automation::Script;
+use batterylab::controller::{VantageConfig, VantagePoint};
+use batterylab::device::{boot_j7_duo, DeviceSpec, AndroidDevice};
+use batterylab::net::LinkProfile;
+use batterylab::platform::{Platform, NODE_PORTS};
+use batterylab::server::{Constraints, ExperimentSpec, Payload};
+use batterylab::sim::{SimRng, SimTime};
+
+fn main() {
+    // Start from the existing deployment (node1 at Imperial College).
+    let mut platform = Platform::paper_testbed(99);
+    println!("existing nodes: {:?}", platform.server.node_names());
+
+    // A new member (say, a lab in Turin) assembles their vantage point:
+    // Raspberry Pi + Monsoon + a rooted Pixel-era device + relay board.
+    let rng = SimRng::new(99).derive("turin");
+    let mut node2 = VantagePoint::new(
+        VantageConfig {
+            name: "node2".to_string(),
+            uplink: LinkProfile::new(80.0, 40.0, 12.0, 0.0001),
+            wifi_ap: LinkProfile::fast_wifi(),
+            relay_channels: 2,
+        },
+        rng.derive("vp"),
+    );
+    let device: AndroidDevice = AndroidDevice::new(
+        DeviceSpec::samsung_j7_duo().rooted(),
+        "turin-j7-01",
+        rng.derive("device"),
+        true, // enrolment pre-accepts the access server's ADB key
+    );
+    device.install_package("com.brave.browser");
+    node2.add_device(device);
+    // A second device on the same switch — no re-cabling needed later.
+    node2.add_device(boot_j7_duo(&rng, "turin-j7-02"));
+
+    // §3.4: the controller must expose 2222 (ssh), 8080 (GUI), 6081
+    // (noVNC). Enrolment fails otherwise — try it.
+    let bad = platform.server.enroll_node(
+        platform.admin_token,
+        VantagePoint::new(
+            VantageConfig {
+                name: "node3".into(),
+                ..VantageConfig::imperial_college()
+            },
+            rng.derive("bad"),
+        ),
+        "130.192.1.1",
+        "hk:node3",
+        &[2222, 8080], // forgot noVNC
+        SimTime::ZERO,
+    );
+    println!("enrolment without port 6081: {}", bad.err().map(|e| e.to_string()).unwrap_or_default());
+
+    // With all ports open it goes through: DNS published, cert deployed.
+    let fqdn = platform
+        .server
+        .enroll_node(
+            platform.admin_token,
+            node2,
+            "130.192.1.2",
+            "hk:node2",
+            &NODE_PORTS,
+            SimTime::ZERO,
+        )
+        .expect("ports open, name free");
+    println!("node2 enrolled : https://{fqdn}");
+    println!(
+        "DNS            : {fqdn} -> {}",
+        platform.server.registry().resolve(&fqdn).expect("published")
+    );
+    println!(
+        "wildcard cert  : serial {} deployed",
+        platform.server.registry().certificate().serial
+    );
+
+    // Prove the node works: a measured smoke job targeted at node2.
+    let id = platform
+        .server
+        .submit_job(
+            platform.experimenter_token,
+            "node2-smoke-test",
+            Constraints {
+                node: Some("node2".to_string()),
+                device: Some("turin-j7-01".to_string()),
+                ..Default::default()
+            },
+            Payload::Experiment(ExperimentSpec::measured(
+                "turin-j7-01",
+                Script::browser_workload("com.brave.browser", &["https://news.bbc.co.uk"], 2),
+            )),
+        )
+        .expect("experimenter may submit");
+    platform.server.tick().expect("dispatches to node2");
+    let build = platform
+        .server
+        .build(platform.experimenter_token, id)
+        .expect("recorded");
+    println!(
+        "smoke test     : {:?} on {:?} — {:.2} mAh",
+        build.state,
+        build.node,
+        build.summary.as_ref().expect("summary")["discharge_mah"]
+            .as_f64()
+            .unwrap_or(0.0)
+    );
+}

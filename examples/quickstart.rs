@@ -1,0 +1,72 @@
+//! Quickstart: assemble the paper's testbed, run a measured video
+//! workload through the Table 1 API and print the battery report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use batterylab::platform::Platform;
+use batterylab::sim::SimDuration;
+
+fn main() {
+    // One access server + one vantage point (node1, Imperial College)
+    // with a Samsung J7 Duo on relay channel 0.
+    let mut platform = Platform::paper_testbed(42);
+    let serial = platform.j7_serial().to_string();
+
+    println!("enrolled nodes : {:?}", platform.server.node_names());
+    println!(
+        "node1 DNS      : node1.batterylab.dev -> {}",
+        platform
+            .server
+            .registry()
+            .resolve("node1.batterylab.dev")
+            .expect("published")
+    );
+
+    let vp = platform.node1();
+    println!("list_devices   : {:?}", vp.list_devices());
+
+    // The Table 1 workflow: energise the meter through the WiFi socket,
+    // program 4.0 V, flip the relay to the battery bypass, start sampling.
+    vp.power_monitor().expect("socket reachable");
+    vp.set_voltage(4.0).expect("within 0.8-13.5 V");
+    vp.batt_switch(&serial).expect("relay channel attached");
+    vp.start_monitor(&serial).expect("armed");
+
+    // The workload: 60 seconds of hardware-decoded mp4 playback, the
+    // Fig. 2 scenario.
+    let device = vp.device_handle(&serial).expect("device attached");
+    device.with_sim(|sim| {
+        sim.set_screen(true);
+        sim.play_video(SimDuration::from_secs(60));
+    });
+
+    let report = vp.stop_monitor_at_rate(1000.0).expect("measurement ends");
+    let cdf = report.cdf();
+    println!("\nbattery report for {serial}:");
+    println!(
+        "  samples      : {} @ {} Hz",
+        report.samples.len(),
+        report.rate_hz
+    );
+    println!(
+        "  median       : {:.1} mA (paper's operating point: ~160 mA)",
+        cdf.median()
+    );
+    println!(
+        "  p10..p90     : {:.1}..{:.1} mA",
+        cdf.quantile(0.1),
+        cdf.quantile(0.9)
+    );
+    println!("  mean current : {:.1} mA", report.mean_ma());
+    println!(
+        "  discharge    : {:.2} mAh over {:.0} s",
+        report.mah(),
+        (report.window.1 - report.window.0).as_secs_f64()
+    );
+
+    // Logs are a shell command away, like `adb logcat`.
+    let logcat = vp.execute_adb(&serial, "logcat -d").expect("adb over wifi");
+    println!("\nlogcat lines   : {}", logcat.lines().count());
+}

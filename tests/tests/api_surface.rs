@@ -1,0 +1,99 @@
+//! Table 1 API-surface test: every row of the paper's API exists on the
+//! controller and behaves as documented, in the order a §4.2 experiment
+//! uses them.
+//!
+//! | API | parameters |
+//! |---|---|
+//! | `list_devices` | — |
+//! | `device_mirroring` | device_id |
+//! | `power_monitor` | — |
+//! | `set_voltage` | voltage_val |
+//! | `start_monitor` | device_id, duration |
+//! | `stop_monitor` | — |
+//! | `batt_switch` | device_id |
+//! | `execute_adb` | device_id, command |
+
+use batterylab::platform::Platform;
+use batterylab::power::SocketState;
+use batterylab::relay::ChannelRoute;
+use batterylab::sim::SimDuration;
+
+#[test]
+fn table1_api_complete_walkthrough() {
+    let mut platform = Platform::paper_testbed(201);
+    let serial = platform.j7_serial().to_string();
+    let vp = platform.node1();
+
+    // list_devices
+    let devices = vp.list_devices();
+    assert_eq!(devices, vec![serial.clone()]);
+
+    // power_monitor (toggle on)
+    assert_eq!(vp.power_monitor().unwrap(), SocketState::On);
+
+    // set_voltage
+    vp.set_voltage(4.0).unwrap();
+    assert!(vp.set_voltage(0.1).is_err(), "out of the HV's range");
+
+    // batt_switch (battery -> bypass)
+    assert_eq!(vp.batt_switch(&serial).unwrap(), ChannelRoute::Bypass);
+
+    // device_mirroring (toggle on)
+    assert!(vp.device_mirroring(&serial).unwrap());
+
+    // start_monitor / workload / stop_monitor
+    vp.start_monitor(&serial).unwrap();
+    let device = vp.device_handle(&serial).unwrap();
+    device.with_sim(|s| {
+        s.set_screen(true);
+        s.play_video(SimDuration::from_secs(10));
+    });
+    let report = vp.stop_monitor_at_rate(500.0).unwrap();
+    assert!(report.mah() > 0.0);
+    // Mirroring was on: the median reflects the encoder cost.
+    assert!(report.cdf().median() > 195.0, "median {}", report.cdf().median());
+
+    // execute_adb
+    let sdk = vp.execute_adb(&serial, "getprop ro.build.version.sdk").unwrap();
+    assert_eq!(sdk.trim(), "26");
+
+    // device_mirroring (toggle off), batt_switch back, power off.
+    assert!(!vp.device_mirroring(&serial).unwrap());
+    assert_eq!(vp.batt_switch(&serial).unwrap(), ChannelRoute::Battery);
+    assert_eq!(vp.power_monitor().unwrap(), SocketState::Off);
+}
+
+#[test]
+fn api_errors_are_typed_not_panics() {
+    let mut platform = Platform::paper_testbed(202);
+    let vp = platform.node1();
+    assert!(vp.batt_switch("ghost").is_err());
+    assert!(vp.execute_adb("ghost", "id").is_err());
+    assert!(vp.device_mirroring("ghost").is_err());
+    assert!(vp.stop_monitor().is_err(), "no measurement running");
+    assert!(vp.start_monitor("j7duo-0001").is_err(), "meter off");
+}
+
+#[test]
+fn gui_toolbar_exposes_the_api_subset() {
+    use batterylab::controller::{GuiSession, ToolbarAction};
+    let mut platform = Platform::paper_testbed(203);
+    let serial = platform.j7_serial().to_string();
+    let vp = platform.node1();
+    let mut gui = GuiSession::new(&serial, true);
+    // Fig. 1(c)'s toolbar drives the same backend.
+    for action in [
+        ToolbarAction::ListDevices,
+        ToolbarAction::PowerMonitor,
+        ToolbarAction::SetVoltage(4.0),
+        ToolbarAction::BattSwitch,
+        ToolbarAction::StartMonitor,
+    ] {
+        gui.click_toolbar(vp, action).unwrap();
+    }
+    vp.device_handle(&serial)
+        .unwrap()
+        .with_sim(|s| s.idle(SimDuration::from_secs(2)));
+    let out = gui.click_toolbar(vp, ToolbarAction::StopMonitor).unwrap();
+    assert!(out.starts_with("discharge_mah="), "{out}");
+}

@@ -1,0 +1,156 @@
+//! §3.3's automation matrix, cross-crate: the same script runs over every
+//! backend that supports it, the constraints hold, and the "dynamic
+//! switching" pattern (USB outside the measurement, WiFi/BT inside)
+//! works end to end.
+
+use batterylab::adb::{AdbKey, TransportKind};
+use batterylab::automation::{
+    Action, AdbBackend, AutomationBackend, AutomationError, BluetoothKeyboardBackend, Script,
+    ScrollDir, UiTestBackend,
+};
+use batterylab::device::{AndroidDevice, DataPath, DeviceSpec};
+use batterylab::sim::{SimDuration, SimRng};
+
+fn rooted_device(seed: u64) -> AndroidDevice {
+    let d = AndroidDevice::new(
+        DeviceSpec::samsung_j7_duo().rooted(),
+        "parity-dev",
+        SimRng::new(seed).derive("d"),
+        true,
+    );
+    d.install_package("com.brave.browser");
+    d
+}
+
+fn key(seed: u64) -> AdbKey {
+    AdbKey::generate("parity-host", seed)
+}
+
+#[test]
+fn same_script_three_backends() {
+    // A script all three backends can express (no package management for
+    // the keyboard backend).
+    let script = Script::new("parity")
+        .then(Action::LaunchApp("com.brave.browser".into()))
+        .then(Action::EnterUrl("https://news.bbc.co.uk".into()))
+        .then(Action::Wait(SimDuration::from_secs(3)))
+        .then(Action::Scroll(ScrollDir::Down))
+        .then(Action::Scroll(ScrollDir::Up));
+
+    let elapsed = |mut backend: Box<dyn AutomationBackend>, device: &AndroidDevice| {
+        let t0 = device.with_sim(|s| s.now());
+        backend.run_script(&script).expect("script runs");
+        (device.with_sim(|s| s.now()) - t0).as_secs_f64()
+    };
+
+    let d1 = rooted_device(1);
+    let adb = elapsed(
+        Box::new(AdbBackend::connect(d1.clone(), TransportKind::WiFi, key(1)).unwrap()),
+        &d1,
+    );
+    let d2 = rooted_device(2);
+    let ui = elapsed(
+        Box::new(UiTestBackend::install(d2.clone(), "com.brave.browser", true).unwrap()),
+        &d2,
+    );
+    let d3 = rooted_device(3);
+    let bt = elapsed(Box::new(BluetoothKeyboardBackend::pair(d3.clone())), &d3);
+
+    // All three drive the device for a comparable span (same dwell, same
+    // gestures — different input-channel overheads).
+    for (name, secs) in [("adb", adb), ("ui", ui), ("bt", bt)] {
+        assert!(
+            (4.0..20.0).contains(&secs),
+            "{name} backend consumed {secs}s"
+        );
+    }
+    // The keyboard types character by character — slower input than the
+    // ADB one-shot `input text` for the same URL.
+    assert!(bt > adb * 0.8, "bt {bt} vs adb {adb}");
+}
+
+#[test]
+fn constraint_matrix_matches_section_3_3() {
+    // USB: reliable but measurement-unsafe.
+    let d = rooted_device(4);
+    let usb = AdbBackend::connect(d.clone(), TransportKind::Usb, key(4)).unwrap();
+    assert!(!usb.measurement_safe());
+    assert!(usb.supports_mirroring());
+    usb.detach();
+
+    // WiFi: measurement-safe, but not on cellular experiments.
+    let d = rooted_device(5);
+    d.with_sim(|s| s.set_data_path(DataPath::Cellular));
+    assert!(matches!(
+        AdbBackend::connect(d, TransportKind::WiFi, key(5)).map(|_| ()),
+        Err(AutomationError::Constraint(_))
+    ));
+
+    // Bluetooth ADB: needs root.
+    let unrooted = AndroidDevice::new(
+        DeviceSpec::samsung_j7_duo(),
+        "unrooted",
+        SimRng::new(6).derive("d"),
+        true,
+    );
+    assert!(matches!(
+        AdbBackend::connect(unrooted, TransportKind::Bluetooth, key(6)).map(|_| ()),
+        Err(AutomationError::Constraint(_))
+    ));
+
+    // BT keyboard: no root needed, works on cellular, but no mirroring.
+    let d = rooted_device(7);
+    d.with_sim(|s| s.set_data_path(DataPath::Cellular));
+    let kb = BluetoothKeyboardBackend::pair(d);
+    assert!(kb.measurement_safe());
+    assert!(!kb.supports_mirroring());
+
+    // UI tests: need source access.
+    let d = rooted_device(8);
+    assert!(matches!(
+        UiTestBackend::install(d, "com.android.chrome", false).map(|_| ()),
+        Err(AutomationError::Constraint(_))
+    ));
+}
+
+/// §3.3's recommended pattern: ADB over USB for setup (cache cleaning),
+/// detach the port, then Bluetooth keyboard for the measured phase.
+#[test]
+fn dynamic_backend_switching() {
+    let device = rooted_device(9);
+
+    // Phase 1: setup over USB (fast, reliable — but powers the device).
+    let mut usb = AdbBackend::connect(device.clone(), TransportKind::Usb, key(9)).unwrap();
+    usb.perform(&Action::ClearAppData("com.brave.browser".into()))
+        .unwrap();
+    assert!(device.with_sim(|s| s.state().usb_connected));
+    usb.detach();
+    assert!(
+        !device.with_sim(|s| s.state().usb_connected),
+        "uhubctl powered the port down"
+    );
+
+    // Phase 2: the measured run over the keyboard.
+    let mut kb = BluetoothKeyboardBackend::pair(device.clone());
+    kb.perform(&Action::LaunchApp("com.brave.browser".into()))
+        .unwrap();
+    kb.perform(&Action::EnterUrl("https://reuters.com".into()))
+        .unwrap();
+    kb.perform(&Action::Scroll(ScrollDir::Down)).unwrap();
+    // Measurement-clean the whole time: no USB attached.
+    assert!(!device.with_sim(|s| s.state().usb_connected));
+}
+
+#[test]
+fn adb_transport_loss_mid_script_is_an_error_not_a_hang() {
+    let device = rooted_device(10);
+    let mut backend = AdbBackend::connect(device, TransportKind::WiFi, key(10)).unwrap();
+    backend
+        .perform(&Action::LaunchApp("com.brave.browser".into()))
+        .unwrap();
+    backend.link_mut().disconnect_transport();
+    let err = backend
+        .perform(&Action::Scroll(ScrollDir::Down))
+        .unwrap_err();
+    assert!(matches!(err, AutomationError::Adb(_)));
+}

@@ -1,0 +1,73 @@
+//! The headline claims of the paper's evaluation, checked end to end at
+//! reduced scale. Each assertion is a *shape* the reproduction must
+//! preserve, not an absolute number.
+
+use batterylab::eval::{fig2, fig3, fig5, sysperf, table2, EvalConfig};
+use batterylab::eval::fig2::Fig2Scenario;
+use batterylab::net::VpnLocation;
+
+fn config() -> EvalConfig {
+    EvalConfig::quick(401)
+}
+
+#[test]
+fn fig2_shapes() {
+    let f = fig2::run(&EvalConfig {
+        fig2_duration_s: 60.0,
+        ..config()
+    });
+    // 1. direct ≈ relay.
+    let direct = f.cdf(Fig2Scenario::Direct).median();
+    let relay = f.cdf(Fig2Scenario::Relay).median();
+    assert!((direct - relay).abs() / direct < 0.02);
+    // 2. mirroring moves the median from ~160 to ~220.
+    let mirrored = f.cdf(Fig2Scenario::RelayMirroring).median();
+    assert!((145.0..180.0).contains(&relay), "plain {relay}");
+    assert!((200.0..250.0).contains(&mirrored), "mirrored {mirrored}");
+}
+
+#[test]
+fn fig3_shapes() {
+    let f = fig3::run(&config());
+    let ranking = f.ranking();
+    assert_eq!(ranking.first().map(String::as_str), Some("Brave"));
+    assert_eq!(ranking.last().map(String::as_str), Some("Firefox"));
+    // Mirroring: positive, roughly constant extra.
+    for browser in ["Brave", "Chrome", "Edge", "Firefox"] {
+        assert!(
+            f.bar(browser, true).discharge_mah.mean > f.bar(browser, false).discharge_mah.mean
+        );
+    }
+}
+
+#[test]
+fn fig5_shapes() {
+    let f = fig5::run(&config());
+    assert!(f.line(false).cpu.median() < 0.35, "constant ~25% without mirroring");
+    assert!(f.line(true).cpu.median() > 0.5, "median rises toward ~75%");
+    assert!(f.line(true).cpu.fraction_above(0.95) > 0.0, "a heavy tail exists");
+}
+
+#[test]
+fn table2_shape() {
+    let t = table2::run(&config());
+    // Slowest download: South Africa; fastest: California; highest
+    // latency: China — the three facts the paper reads off the table.
+    let sa = t.row(VpnLocation::SouthAfrica).down_mbps;
+    let ca = t.row(VpnLocation::California).down_mbps;
+    let cn = t.row(VpnLocation::China).latency_ms;
+    assert!(sa < ca);
+    for loc in VpnLocation::ALL {
+        assert!(t.row(loc).latency_ms <= cn + 0.001, "{loc}");
+    }
+}
+
+#[test]
+fn sysperf_shapes() {
+    let s = sysperf::run(&config());
+    assert!(s.controller_cpu_mirroring > s.controller_cpu_plain + 0.25);
+    assert!(s.memory_mirroring > s.memory_plain + 0.02);
+    assert!(s.memory_mirroring < 0.20);
+    assert!((1.2..1.7).contains(&s.latency.mean));
+    assert!(s.upload_bytes > 0);
+}

@@ -1,0 +1,147 @@
+//! Multi-device vantage points: the circuit switch's second job (§3.2) —
+//! "allow BatteryLab to concurrently support multiple test devices
+//! without having to manually move cables around" — exercised through
+//! the controller and the job queue.
+
+use batterylab::automation::Script;
+use batterylab::controller::{ControllerError, VantageConfig, VantagePoint};
+use batterylab::device::boot_j7_duo;
+use batterylab::platform::{Platform, NODE_PORTS};
+use batterylab::server::{BuildState, Constraints, ExperimentSpec, Payload};
+use batterylab::sim::{SimDuration, SimRng, SimTime};
+
+fn two_device_vantage(seed: u64) -> VantagePoint {
+    two_device_vantage_named(seed, "node1")
+}
+
+fn two_device_vantage_named(seed: u64, name: &str) -> VantagePoint {
+    let rng = SimRng::new(seed);
+    let mut vp = VantagePoint::new(
+        VantageConfig {
+            name: name.to_string(),
+            ..VantageConfig::imperial_college()
+        },
+        rng.derive("vp"),
+    );
+    for i in 0..2 {
+        let d = boot_j7_duo(&rng, &format!("multi-{i}"));
+        d.install_package("com.brave.browser");
+        vp.add_device(d);
+    }
+    vp
+}
+
+#[test]
+fn sequential_measurements_without_recabling() {
+    let mut vp = two_device_vantage(901);
+    vp.power_monitor().unwrap();
+    vp.set_voltage(4.0).unwrap();
+
+    let mut discharges = Vec::new();
+    for serial in ["multi-0", "multi-1"] {
+        vp.batt_switch(serial).unwrap(); // engage this device's bypass
+        vp.start_monitor(serial).unwrap();
+        let device = vp.device_handle(serial).unwrap();
+        device.with_sim(|s| {
+            s.set_screen(true);
+            s.play_video(SimDuration::from_secs(10));
+        });
+        let report = vp.stop_monitor_at_rate(500.0).unwrap();
+        discharges.push(report.mah());
+        vp.batt_switch(serial).unwrap(); // release for the next device
+    }
+    assert_eq!(discharges.len(), 2);
+    assert!(discharges.iter().all(|&m| m > 0.3));
+}
+
+#[test]
+fn bypass_is_exclusive_across_devices() {
+    let mut vp = two_device_vantage(902);
+    vp.power_monitor().unwrap();
+    vp.batt_switch("multi-0").unwrap();
+    // The second device cannot grab the bypass while the first holds it.
+    let err = vp.batt_switch("multi-1").unwrap_err();
+    assert!(matches!(err, ControllerError::Relay(_)), "{err}");
+    // Releasing frees it.
+    vp.batt_switch("multi-0").unwrap();
+    vp.batt_switch("multi-1").unwrap();
+}
+
+#[test]
+fn measuring_one_device_while_other_works_on_battery() {
+    let mut vp = two_device_vantage(903);
+    vp.power_monitor().unwrap();
+    vp.batt_switch("multi-0").unwrap();
+    vp.start_monitor("multi-0").unwrap();
+
+    // Device 1 (on its own battery) does heavy work concurrently.
+    let other = vp.device_handle("multi-1").unwrap();
+    let battery_before = other.with_sim(|s| s.battery().charge_mah());
+    other.with_sim(|s| {
+        s.set_screen(true);
+        s.run_activity(SimDuration::from_secs(30), 0.6, 0.7);
+    });
+    assert!(other.with_sim(|s| s.battery().charge_mah()) < battery_before);
+
+    // Device 0's measurement is unaffected by device 1's activity.
+    let measured = vp.device_handle("multi-0").unwrap();
+    measured.with_sim(|s| {
+        s.set_screen(true);
+        s.play_video(SimDuration::from_secs(10));
+    });
+    let report = vp.stop_monitor_at_rate(500.0).unwrap();
+    let median = report.cdf().median();
+    assert!(
+        (145.0..180.0).contains(&median),
+        "cross-talk from the other device: median {median}"
+    );
+}
+
+#[test]
+fn queue_runs_jobs_across_both_devices() {
+    let mut platform = Platform::paper_testbed(904);
+    // Add a second device to node1 via a fresh node (node1 is already
+    // built); enrol a two-device node instead.
+    let vp = two_device_vantage_named(904, "node-multi");
+    platform
+        .server
+        .enroll_node(
+            platform.admin_token,
+            vp,
+            "10.0.0.2",
+            "hk:multi",
+            &NODE_PORTS,
+            SimTime::ZERO,
+        )
+        .unwrap();
+
+    let script = Script::browser_workload("com.brave.browser", &["https://reuters.com"], 2);
+    let mut ids = Vec::new();
+    for serial in ["multi-0", "multi-1"] {
+        ids.push(
+            platform
+                .server
+                .submit_job(
+                    platform.experimenter_token,
+                    &format!("job-{serial}"),
+                    Constraints {
+                        device: Some(serial.to_string()),
+                        ..Default::default()
+                    },
+                    Payload::Experiment(ExperimentSpec::measured(serial, script.clone())),
+                )
+                .unwrap(),
+        );
+    }
+    platform.server.drain();
+    for id in ids {
+        assert_eq!(
+            platform
+                .server
+                .build(platform.experimenter_token, id)
+                .unwrap()
+                .state,
+            BuildState::Succeeded
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of platform-level invariants: the measurement
+//! pipeline's conservation laws, the scheduler's dispatch discipline and
+//! the credit ledger's books, under randomised inputs.
+
+use batterylab::automation::Script;
+use batterylab::device::{boot_j7_duo, PowerSource};
+use batterylab::platform::Platform;
+use batterylab::power::Monsoon;
+use batterylab::server::{credits::CreditLedger, BuildState, Constraints, ExperimentSpec, Payload};
+use batterylab::sim::{SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the workload, the meter's integral tracks the device's
+    /// ground-truth trace within calibration error.
+    #[test]
+    fn meter_tracks_ground_truth(seed in 0u64..1000,
+                                 actions in proptest::collection::vec((0.0f64..0.8, 0.0f64..1.0, 1u64..8), 1..6)) {
+        let rng = SimRng::new(seed);
+        let device = boot_j7_duo(&rng, "prop-dev");
+        device.with_sim(|s| {
+            s.set_power_source(PowerSource::MonsoonBypass);
+            s.set_screen(true);
+            for (util, change, secs) in &actions {
+                s.run_activity(SimDuration::from_secs(*secs), *util, *change);
+            }
+        });
+        let end = device.with_sim(|s| s.now());
+        let truth = device.with_sim(|s| s.current_trace().integral(SimTime::ZERO, end)) / 3600.0;
+        let mut monsoon = Monsoon::new(rng.derive("m"));
+        monsoon.set_powered(true);
+        monsoon.set_voltage(4.0).unwrap();
+        monsoon.enable_vout().unwrap();
+        let run = monsoon
+            .sample_run_at_rate(&device, SimTime::ZERO, end.as_secs_f64(), 500.0)
+            .unwrap();
+        let rel = (run.energy.mah() - truth).abs() / truth.max(1e-9);
+        prop_assert!(rel < 0.02, "meter {} vs truth {truth} ({rel})", run.energy.mah());
+    }
+
+    /// Every submitted job reaches a terminal state and none is lost or
+    /// run twice, whatever mix of good/bad jobs is queued.
+    #[test]
+    fn scheduler_conserves_jobs(bad_mask in proptest::collection::vec(any::<bool>(), 1..6)) {
+        let mut platform = Platform::paper_testbed(7_000);
+        let serial = platform.j7_serial().to_string();
+        let mut ids = Vec::new();
+        for (i, bad) in bad_mask.iter().enumerate() {
+            let script = if *bad {
+                Script::browser_workload("com.not.installed", &["https://x.example"], 1)
+            } else {
+                Script::browser_workload("com.brave.browser", &["https://reuters.com"], 1)
+            };
+            ids.push((
+                platform
+                    .server
+                    .submit_job(
+                        platform.experimenter_token,
+                        &format!("prop-{i}"),
+                        Constraints::default(),
+                        Payload::Experiment(ExperimentSpec::measured(&serial, script)),
+                    )
+                    .unwrap(),
+                *bad,
+            ));
+        }
+        let ran = platform.server.drain();
+        prop_assert_eq!(ran.len(), ids.len(), "every job ran exactly once");
+        for (id, bad) in ids {
+            let build = platform.server.build(platform.experimenter_token, id).unwrap();
+            match (&build.state, bad) {
+                (BuildState::Failed(_), true) | (BuildState::Succeeded, false) => {}
+                other => prop_assert!(false, "job {id:?}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    /// Ledger books always balance: every account's balance equals the
+    /// sum of its ledger entries.
+    #[test]
+    fn ledger_books_balance(ops in proptest::collection::vec((0u8..4, 0.0f64..50.0), 1..40)) {
+        let mut ledger = CreditLedger::new();
+        let users = ["alice", "bob", "carol"];
+        for u in users {
+            ledger.open_account(u);
+        }
+        for (i, (op, amount)) in ops.iter().enumerate() {
+            let user = users[i % users.len()];
+            let other = users[(i + 1) % users.len()];
+            match op {
+                0 => ledger.earn_hosting(user, "nodeX", SimDuration::from_secs_f64(amount * 60.0)),
+                1 => {
+                    let _ = ledger.charge_experiment(user, "j", SimDuration::from_secs_f64(amount * 10.0));
+                }
+                2 => {
+                    let _ = ledger.transfer(user, other, *amount, "prop");
+                }
+                _ => ledger.open_account(user), // idempotent
+            }
+        }
+        for u in users {
+            let from_history: f64 = ledger
+                .history()
+                .iter()
+                .filter(|e| e.user == u)
+                .map(|e| e.amount)
+                .sum();
+            let balance = ledger.balance(u).unwrap();
+            prop_assert!((from_history - balance).abs() < 1e-6,
+                         "{u}: history {from_history} vs balance {balance}");
+        }
+    }
+
+    /// Transfers never create or destroy credits.
+    #[test]
+    fn transfers_conserve_total(amounts in proptest::collection::vec(0.0f64..20.0, 1..20)) {
+        let mut ledger = CreditLedger::new();
+        ledger.open_account("a");
+        ledger.open_account("b");
+        let total_before = ledger.balance("a").unwrap() + ledger.balance("b").unwrap();
+        for (i, amount) in amounts.iter().enumerate() {
+            let (from, to) = if i % 2 == 0 { ("a", "b") } else { ("b", "a") };
+            let _ = ledger.transfer(from, to, *amount, "pingpong");
+        }
+        let total_after = ledger.balance("a").unwrap() + ledger.balance("b").unwrap();
+        prop_assert!((total_before - total_after).abs() < 1e-9);
+    }
+}
