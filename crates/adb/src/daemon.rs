@@ -12,8 +12,8 @@ use crate::auth::{PublicKey, TOKEN_LEN};
 use crate::services::DeviceServices;
 use crate::transport::{TransportEnd, TransportError};
 use crate::wire::{
-    Packet, WireError, ADB_VERSION, AUTH_RSAPUBLICKEY, AUTH_SIGNATURE, AUTH_TOKEN, A_AUTH,
-    A_CLSE, A_CNXN, A_OKAY, A_OPEN, A_WRTE, MAX_PAYLOAD,
+    Packet, WireError, ADB_VERSION, AUTH_RSAPUBLICKEY, AUTH_SIGNATURE, AUTH_TOKEN, A_AUTH, A_CLSE,
+    A_CNXN, A_OKAY, A_OPEN, A_WRTE, MAX_PAYLOAD,
 };
 
 /// Daemon faults (wire corruption or transport loss).
@@ -42,7 +42,10 @@ enum State {
     /// Waiting for the host's CNXN.
     Offline,
     /// Challenge sent; waiting for a signature or a public key.
-    Authenticating { token: [u8; TOKEN_LEN], attempts: u8 },
+    Authenticating {
+        token: [u8; TOKEN_LEN],
+        attempts: u8,
+    },
     /// Session established.
     Online,
 }
@@ -180,8 +183,7 @@ impl<S: DeviceServices> AdbDaemon<S> {
                 // store via PublicKey blobs carried in RSAPUBLICKEY; a
                 // signature-only login therefore succeeds only when the
                 // host previously registered its key.
-                if let Some(pk) = self.verify_signature(&token, &packet.payload) {
-                    let _ = pk;
+                if self.verify_signature(&token, &packet.payload).is_some() {
                     self.go_online(transport)
                 } else if attempts < 2 {
                     // Re-challenge; after the retries the host falls back
@@ -218,14 +220,20 @@ impl<S: DeviceServices> AdbDaemon<S> {
         let service = packet.text();
         match self.services.exec(&service) {
             Ok(output) => {
-                self.send(transport, Packet::new(A_OKAY, local_id, remote_id, Bytes::new()))?;
+                self.send(
+                    transport,
+                    Packet::new(A_OKAY, local_id, remote_id, Bytes::new()),
+                )?;
                 for chunk in output.chunks((MAX_PAYLOAD as usize).max(1)) {
                     self.send(
                         transport,
                         Packet::new(A_WRTE, local_id, remote_id, chunk.to_vec()),
                     )?;
                 }
-                self.send(transport, Packet::new(A_CLSE, local_id, remote_id, Bytes::new()))
+                self.send(
+                    transport,
+                    Packet::new(A_CLSE, local_id, remote_id, Bytes::new()),
+                )
             }
             Err(_) => {
                 // Service refused: CLSE without OKAY, as the real daemon.
@@ -274,8 +282,10 @@ mod tests {
     #[test]
     fn no_auth_device_connects_directly() {
         let (host, dev) = duplex(TransportKind::Usb);
-        let mut services = MockServices::default();
-        services.require_auth = false;
+        let services = MockServices {
+            require_auth: false,
+            ..Default::default()
+        };
         let mut daemon = AdbDaemon::new(services);
         host.send(&Packet::new(A_CNXN, ADB_VERSION, MAX_PAYLOAD, &b"host::"[..]).encode())
             .unwrap();
@@ -305,7 +315,8 @@ mod tests {
     fn open_before_auth_is_closed() {
         let (host, dev) = duplex(TransportKind::Usb);
         let mut daemon = AdbDaemon::new(MockServices::default());
-        host.send(&Packet::new(A_OPEN, 5, 0, &b"shell:id\0"[..]).encode()).unwrap();
+        host.send(&Packet::new(A_OPEN, 5, 0, &b"shell:id\0"[..]).encode())
+            .unwrap();
         daemon.poll(&dev).unwrap();
         let replies = decode_all(host.recv());
         assert_eq!(replies.len(), 1);
@@ -316,14 +327,17 @@ mod tests {
     #[test]
     fn service_executes_after_no_auth_connect() {
         let (host, dev) = duplex(TransportKind::WiFi);
-        let mut services = MockServices::default();
-        services.require_auth = false;
+        let services = MockServices {
+            require_auth: false,
+            ..Default::default()
+        };
         let mut daemon = AdbDaemon::new(services);
         host.send(&Packet::new(A_CNXN, ADB_VERSION, MAX_PAYLOAD, &b"host::"[..]).encode())
             .unwrap();
         daemon.poll(&dev).unwrap();
         host.recv();
-        host.send(&Packet::new(A_OPEN, 11, 0, &b"shell:echo hi\0"[..]).encode()).unwrap();
+        host.send(&Packet::new(A_OPEN, 11, 0, &b"shell:echo hi\0"[..]).encode())
+            .unwrap();
         daemon.poll(&dev).unwrap();
         let replies = decode_all(host.recv());
         assert_eq!(replies[0].command, A_OKAY);
@@ -336,14 +350,17 @@ mod tests {
     #[test]
     fn failed_service_closes_without_okay() {
         let (host, dev) = duplex(TransportKind::WiFi);
-        let mut services = MockServices::default();
-        services.require_auth = false;
+        let services = MockServices {
+            require_auth: false,
+            ..Default::default()
+        };
         let mut daemon = AdbDaemon::new(services);
         host.send(&Packet::new(A_CNXN, ADB_VERSION, MAX_PAYLOAD, &b"host::"[..]).encode())
             .unwrap();
         daemon.poll(&dev).unwrap();
         host.recv();
-        host.send(&Packet::new(A_OPEN, 3, 0, &b"shell:fail\0"[..]).encode()).unwrap();
+        host.send(&Packet::new(A_OPEN, 3, 0, &b"shell:fail\0"[..]).encode())
+            .unwrap();
         daemon.poll(&dev).unwrap();
         let replies = decode_all(host.recv());
         assert_eq!(replies.len(), 1);
@@ -353,8 +370,10 @@ mod tests {
     #[test]
     fn reset_requires_new_handshake() {
         let (host, dev) = duplex(TransportKind::Usb);
-        let mut services = MockServices::default();
-        services.require_auth = false;
+        let services = MockServices {
+            require_auth: false,
+            ..Default::default()
+        };
         let mut daemon = AdbDaemon::new(services);
         host.send(&Packet::new(A_CNXN, ADB_VERSION, MAX_PAYLOAD, &b"host::"[..]).encode())
             .unwrap();
@@ -363,7 +382,8 @@ mod tests {
         daemon.reset();
         assert!(!daemon.is_online());
         host.recv();
-        host.send(&Packet::new(A_OPEN, 9, 0, &b"shell:id\0"[..]).encode()).unwrap();
+        host.send(&Packet::new(A_OPEN, 9, 0, &b"shell:id\0"[..]).encode())
+            .unwrap();
         daemon.poll(&dev).unwrap();
         let replies = decode_all(host.recv());
         assert_eq!(replies[0].command, A_CLSE, "must re-handshake after reset");

@@ -7,6 +7,7 @@
 //! a daemon and the duplex pipe into the synchronous API the controller
 //! uses (`connect`, `execute`, `shell`, …).
 
+use batterylab_telemetry::{Counter, Histogram, Registry};
 use bytes::{Bytes, BytesMut};
 
 use crate::auth::AdbKey;
@@ -14,8 +15,8 @@ use crate::daemon::{AdbDaemon, DaemonError};
 use crate::services::DeviceServices;
 use crate::transport::{duplex_with_profile, TransportEnd, TransportError, TransportKind};
 use crate::wire::{
-    Packet, WireError, ADB_VERSION, AUTH_RSAPUBLICKEY, AUTH_SIGNATURE, AUTH_TOKEN, A_AUTH,
-    A_CLSE, A_CNXN, A_OKAY, A_OPEN, A_WRTE, MAX_PAYLOAD,
+    Packet, WireError, ADB_VERSION, AUTH_RSAPUBLICKEY, AUTH_SIGNATURE, AUTH_TOKEN, A_AUTH, A_CLSE,
+    A_CNXN, A_OKAY, A_OPEN, A_WRTE, MAX_PAYLOAD,
 };
 use batterylab_net::LinkProfile;
 
@@ -88,6 +89,29 @@ enum StreamPhase {
     Open { got: Vec<u8> },
 }
 
+/// Pre-resolved telemetry handles for the framing layer (`adb.*`).
+/// Bound once at construction; every frame costs two relaxed atomic
+/// RMWs per direction.
+struct AdbTelemetry {
+    frames_tx: Counter,
+    frames_rx: Counter,
+    bytes_tx: Counter,
+    bytes_rx: Counter,
+    frame_payload_bytes: Histogram,
+}
+
+impl AdbTelemetry {
+    fn bind(registry: &Registry) -> Self {
+        AdbTelemetry {
+            frames_tx: registry.counter("adb.frames_tx"),
+            frames_rx: registry.counter("adb.frames_rx"),
+            bytes_tx: registry.counter("adb.bytes_tx"),
+            bytes_rx: registry.counter("adb.bytes_rx"),
+            frame_payload_bytes: registry.histogram("adb.frame_payload_bytes"),
+        }
+    }
+}
+
 /// Sans-IO host state machine.
 pub struct AdbHostClient {
     transport: TransportEnd,
@@ -97,6 +121,7 @@ pub struct AdbHostClient {
     auth: AuthPhase,
     stream: Option<(u32, String, StreamPhase)>,
     next_stream_id: u32,
+    telemetry: AdbTelemetry,
 }
 
 impl AdbHostClient {
@@ -110,7 +135,22 @@ impl AdbHostClient {
             auth: AuthPhase::Fresh,
             stream: None,
             next_stream_id: 100,
+            telemetry: AdbTelemetry::bind(&Registry::new()),
         }
+    }
+
+    /// Rebind telemetry to a shared registry (`adb.*` metrics).
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = AdbTelemetry::bind(registry);
+    }
+
+    /// Encode and send one frame, counting it.
+    fn send_packet(&mut self, packet: Packet) -> Result<(), HostError> {
+        let encoded = packet.encode();
+        self.telemetry.frames_tx.inc();
+        self.telemetry.bytes_tx.add(encoded.len() as u64);
+        self.transport.send(&encoded)?;
+        Ok(())
     }
 
     /// The device banner once connected.
@@ -132,8 +172,12 @@ impl AdbHostClient {
     pub fn start_connect(&mut self) -> Result<(), HostError> {
         self.banner = None;
         self.auth = AuthPhase::Fresh;
-        self.transport
-            .send(&Packet::new(A_CNXN, ADB_VERSION, MAX_PAYLOAD, &b"host::batterylab\0"[..]).encode())?;
+        self.send_packet(Packet::new(
+            A_CNXN,
+            ADB_VERSION,
+            MAX_PAYLOAD,
+            &b"host::batterylab\0"[..],
+        ))?;
         Ok(())
     }
 
@@ -146,8 +190,7 @@ impl AdbHostClient {
         self.next_stream_id += 1;
         let mut payload = service.as_bytes().to_vec();
         payload.push(0);
-        self.transport
-            .send(&Packet::new(A_OPEN, id, 0, payload).encode())?;
+        self.send_packet(Packet::new(A_OPEN, id, 0, payload))?;
         self.stream = Some((id, service.to_string(), StreamPhase::AwaitingOkay));
         Ok(())
     }
@@ -156,9 +199,14 @@ impl AdbHostClient {
     /// completed service output when a stream finished this call.
     pub fn process(&mut self) -> Result<Option<Vec<u8>>, HostError> {
         let bytes = self.transport.recv();
+        self.telemetry.bytes_rx.add(bytes.len() as u64);
         self.rx.extend_from_slice(&bytes);
         let mut finished = None;
         while let Some(packet) = Packet::decode(&mut self.rx)? {
+            self.telemetry.frames_rx.inc();
+            self.telemetry
+                .frame_payload_bytes
+                .record(packet.payload.len() as u64);
             if let Some(out) = self.handle(packet)? {
                 finished = Some(out);
             }
@@ -176,17 +224,13 @@ impl AdbHostClient {
                 match self.auth {
                     AuthPhase::Fresh => {
                         let sig = self.key.sign(&packet.payload);
-                        self.transport
-                            .send(&Packet::new(A_AUTH, AUTH_SIGNATURE, 0, sig).encode())?;
+                        self.send_packet(Packet::new(A_AUTH, AUTH_SIGNATURE, 0, sig))?;
                         self.auth = AuthPhase::SentSignature;
                     }
                     AuthPhase::SentSignature => {
                         // Signature bounced: offer our public key.
-                        self.transport
-                            .send(
-                                &Packet::new(A_AUTH, AUTH_RSAPUBLICKEY, 0, self.key.public_blob())
-                                    .encode(),
-                            )?;
+                        let blob = self.key.public_blob();
+                        self.send_packet(Packet::new(A_AUTH, AUTH_RSAPUBLICKEY, 0, blob))?;
                         self.auth = AuthPhase::SentPublicKey;
                     }
                     AuthPhase::SentPublicKey => {
@@ -207,15 +251,18 @@ impl AdbHostClient {
                 Ok(None)
             }
             A_WRTE => {
+                let mut ack = None;
                 if let Some((id, _, phase)) = &mut self.stream {
                     if packet.arg1 == *id {
                         if let StreamPhase::Open { got } = phase {
                             got.extend_from_slice(&packet.payload);
-                            // Ack the write so the daemon can keep streaming.
-                            self.transport
-                                .send(&Packet::new(A_OKAY, *id, packet.arg0, Bytes::new()).encode())?;
+                            ack = Some(*id);
                         }
                     }
+                }
+                if let Some(id) = ack {
+                    // Ack the write so the daemon can keep streaming.
+                    self.send_packet(Packet::new(A_OKAY, id, packet.arg0, Bytes::new()))?;
                 }
                 Ok(None)
             }
@@ -244,6 +291,9 @@ pub struct AdbLink<S: DeviceServices> {
     daemon: AdbDaemon<S>,
     daemon_end: TransportEnd,
     kind: TransportKind,
+    connects: Counter,
+    reconnects: Counter,
+    services: Counter,
 }
 
 /// Pump budget for one logical operation. Handshake + auth + fallback is
@@ -269,7 +319,24 @@ impl<S: DeviceServices> AdbLink<S> {
             daemon: AdbDaemon::new(services),
             daemon_end,
             kind,
+            connects: Counter::default(),
+            reconnects: Counter::default(),
+            services: Counter::default(),
         }
+    }
+
+    /// Rebind this link (framing layer included) to a shared registry.
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.set_telemetry(registry);
+        self
+    }
+
+    /// In-place variant of [`Self::with_telemetry`].
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.host.set_telemetry(registry);
+        self.connects = registry.counter("adb.connects");
+        self.reconnects = registry.counter("adb.reconnects");
+        self.services = registry.counter("adb.services");
     }
 
     /// The transport medium.
@@ -307,6 +374,7 @@ impl<S: DeviceServices> AdbLink<S> {
         self.host.transport.reconnect();
         self.daemon.reset();
         self.host.banner = None;
+        self.reconnects.inc();
     }
 
     /// Establish a session (handshake + auth, with pubkey fallback).
@@ -316,6 +384,7 @@ impl<S: DeviceServices> AdbLink<S> {
             self.daemon.poll(&self.daemon_end)?;
             self.host.process()?;
             if let Some(banner) = self.host.banner() {
+                self.connects.inc();
                 return Ok(banner.to_string());
             }
         }
@@ -324,6 +393,7 @@ impl<S: DeviceServices> AdbLink<S> {
 
     /// Run a one-shot service and return its output.
     pub fn execute(&mut self, service: &str) -> Result<Vec<u8>, HostError> {
+        self.services.inc();
         self.host.start_service(service)?;
         for _ in 0..PUMP_BUDGET {
             self.daemon.poll(&self.daemon_end)?;
@@ -395,8 +465,10 @@ mod tests {
     use crate::services::MockServices;
 
     fn link(accept: bool) -> AdbLink<MockServices> {
-        let mut services = MockServices::default();
-        services.accept_new_keys = accept;
+        let services = MockServices {
+            accept_new_keys: accept,
+            ..Default::default()
+        };
         AdbLink::new(
             services,
             TransportKind::WiFi,
@@ -475,8 +547,40 @@ mod tests {
         l.pm_clear("com.android.chrome").unwrap();
         let executed = &l.services().executed;
         assert!(executed.iter().any(|s| s == "shell:input tap 100 200"));
-        assert!(executed.iter().any(|s| s == "shell:input swipe 500 1500 500 300 300"));
-        assert!(executed.iter().any(|s| s == "shell:pm clear com.android.chrome"));
+        assert!(executed
+            .iter()
+            .any(|s| s == "shell:input swipe 500 1500 500 300 300"));
+        assert!(executed
+            .iter()
+            .any(|s| s == "shell:pm clear com.android.chrome"));
+    }
+
+    #[test]
+    fn telemetry_counts_frames_and_reconnects() {
+        let registry = Registry::new();
+        let services = MockServices {
+            accept_new_keys: true,
+            ..Default::default()
+        };
+        let mut l = AdbLink::new(
+            services,
+            TransportKind::WiFi,
+            AdbKey::generate("test-host", 1),
+        )
+        .with_telemetry(&registry);
+        l.connect().unwrap();
+        l.shell("echo battery").unwrap();
+        l.disconnect_transport();
+        l.reconnect_transport();
+        l.connect().unwrap();
+        let report = registry.snapshot();
+        assert_eq!(report.counter("adb.connects"), 2);
+        assert_eq!(report.counter("adb.reconnects"), 1);
+        assert_eq!(report.counter("adb.services"), 1);
+        assert!(report.counter("adb.frames_tx") >= 4);
+        assert!(report.counter("adb.frames_rx") >= 4);
+        assert!(report.counter("adb.bytes_tx") > 0);
+        assert!(report.histogram("adb.frame_payload_bytes").unwrap().count > 0);
     }
 
     #[test]

@@ -150,7 +150,11 @@ impl TransportEnd {
     /// flight are delivered), matching socket semantics.
     pub fn recv(&self) -> Vec<u8> {
         let mut s = self.shared.lock();
-        let q = if self.is_a { &mut s.b_to_a } else { &mut s.a_to_b };
+        let q = if self.is_a {
+            &mut s.b_to_a
+        } else {
+            &mut s.a_to_b
+        };
         q.drain(..).collect()
     }
 

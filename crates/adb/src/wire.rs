@@ -82,7 +82,10 @@ impl std::fmt::Display for WireError {
             }
             WireError::UnknownCommand(c) => write!(f, "unknown command {c:#x}"),
             WireError::BadChecksum { expected, actual } => {
-                write!(f, "checksum mismatch: header {expected:#x}, payload {actual:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: header {expected:#x}, payload {actual:#x}"
+                )
             }
             WireError::Oversized(n) => write!(f, "payload of {n} bytes exceeds MAX_PAYLOAD"),
         }
@@ -106,11 +109,16 @@ pub struct Packet {
 
 /// ADB's "checksum": the wrapping byte-sum of the payload.
 pub fn checksum(payload: &[u8]) -> u32 {
-    payload.iter().fold(0u32, |acc, &b| acc.wrapping_add(b as u32))
+    payload
+        .iter()
+        .fold(0u32, |acc, &b| acc.wrapping_add(b as u32))
 }
 
 fn known_command(c: u32) -> bool {
-    matches!(c, A_CNXN | A_AUTH | A_OPEN | A_OKAY | A_WRTE | A_CLSE | A_SYNC)
+    matches!(
+        c,
+        A_CNXN | A_AUTH | A_OPEN | A_OKAY | A_WRTE | A_CLSE | A_SYNC
+    )
 }
 
 impl Packet {

@@ -315,7 +315,8 @@ impl<T: KeyTarget> BluetoothKeyboardBackend<T> {
 
     /// Unpair (drops the BT link power cost).
     pub fn unpair(self) {
-        self.device.with_device_sim(|s| s.set_bluetooth_active(false));
+        self.device
+            .with_device_sim(|s| s.set_bluetooth_active(false));
     }
 
     /// The HID layer (diagnostics).
@@ -531,14 +532,17 @@ mod tests {
         let mut b = UiTestBackend::install(d, "com.android.chrome", true).unwrap();
         assert!(b.measurement_safe());
         assert!(!b.supports_mirroring());
-        b.perform(&Action::LaunchApp("com.android.chrome".into())).unwrap();
+        b.perform(&Action::LaunchApp("com.android.chrome".into()))
+            .unwrap();
     }
 
     #[test]
     fn ui_test_rejects_foreign_packages() {
         let d = device();
         let mut b = UiTestBackend::install(d, "com.android.chrome", true).unwrap();
-        let err = b.perform(&Action::LaunchApp("org.other".into())).unwrap_err();
+        let err = b
+            .perform(&Action::LaunchApp("org.other".into()))
+            .unwrap_err();
         assert!(matches!(err, AutomationError::Unsupported { .. }));
     }
 
@@ -549,7 +553,8 @@ mod tests {
         let mut b = BluetoothKeyboardBackend::pair(d.clone());
         assert!(b.measurement_safe());
         assert!(!b.supports_mirroring(), "§3.3: no mirroring without ADB");
-        b.perform(&Action::EnterUrl("https://news.example".into())).unwrap();
+        b.perform(&Action::EnterUrl("https://news.example".into()))
+            .unwrap();
         b.perform(&Action::Scroll(ScrollDir::Down)).unwrap();
         assert!(d.with_sim(|s| s.state().bluetooth_active));
     }

@@ -60,7 +60,10 @@ pub fn usage_for(key: &str) -> Option<(u8, u8)> {
 pub fn usage_for_char(c: char) -> Option<(u8, u8)> {
     Some(match c {
         'a'..='z' => (0, 0x04 + (c as u8 - b'a')),
-        'A'..='Z' => (modifiers::LSHIFT, 0x04 + (c.to_ascii_lowercase() as u8 - b'a')),
+        'A'..='Z' => (
+            modifiers::LSHIFT,
+            0x04 + (c.to_ascii_lowercase() as u8 - b'a'),
+        ),
         '1'..='9' => (0, 0x1e + (c as u8 - b'1')),
         '0' => (0, 0x27),
         ' ' => (0, 0x2c),

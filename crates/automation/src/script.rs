@@ -85,7 +85,11 @@ impl Script {
             script = script.then(Action::EnterUrl(url.to_string()));
             script = script.then(Action::Wait(SimDuration::from_secs(6)));
             for i in 0..scrolls_per_page {
-                let dir = if i % 2 == 0 { ScrollDir::Down } else { ScrollDir::Up };
+                let dir = if i % 2 == 0 {
+                    ScrollDir::Down
+                } else {
+                    ScrollDir::Up
+                };
                 script = script.then(Action::Scroll(dir));
             }
         }
@@ -108,7 +112,8 @@ mod tests {
 
     #[test]
     fn browser_workload_structure() {
-        let s = Script::browser_workload("com.brave.browser", &["https://a.com", "https://b.com"], 4);
+        let s =
+            Script::browser_workload("com.brave.browser", &["https://a.com", "https://b.com"], 4);
         // stop + clear + launch + 2×(url + wait + 4 scrolls) + stop
         assert_eq!(s.len(), 3 + 2 * 6 + 1);
         assert!(matches!(s.actions[0], Action::ForceStop(_)));

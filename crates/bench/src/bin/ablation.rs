@@ -43,7 +43,10 @@ fn main() {
 /// from Riemann-summing its samples.
 fn sampling_rate_ablation() {
     println!("Ablation: Monsoon sampling rate vs energy error (60 s browser-like load)");
-    println!("{:>8} {:>12} {:>14} {:>12}", "rate Hz", "samples", "est. mAh", "error %");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "rate Hz", "samples", "est. mAh", "error %"
+    );
     let rng = SimRng::new(7001);
     let device = boot_j7_duo(&rng, "abl-dev");
     device.with_sim(|s| {
@@ -95,7 +98,10 @@ fn relay_resistance_ablation() {
 
 fn bitrate_ablation() {
     println!("Ablation: scrcpy bitrate cap vs upload volume (60 s video mirroring)");
-    println!("{:>12} {:>12} {:>16}", "cap Mbps", "upload MB", "device mean mA");
+    println!(
+        "{:>12} {:>12} {:>16}",
+        "cap Mbps", "upload MB", "device mean mA"
+    );
     for mbps in [0.5, 1.0, 2.0, 4.0, 8.0] {
         let rng = SimRng::new(7002);
         let device = boot_j7_duo(&rng, "abl-dev");
@@ -128,7 +134,10 @@ fn bitrate_ablation() {
 
 fn streams_ablation() {
     println!("Ablation: parallel TCP streams vs 3 MB page fetch over the Japan tunnel");
-    println!("{:>10} {:>14} {:>14}", "streams", "fetch time s", "goodput Mbps");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "streams", "fetch time s", "goodput Mbps"
+    );
     let path = LinkProfile::campus_uplink().chain(&VpnLocation::Japan.tunnel_profile());
     for streams in [1u32, 2, 4, 6, 12] {
         let model = TransferModel::with_streams(path, streams);

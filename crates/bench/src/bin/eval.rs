@@ -83,27 +83,50 @@ fn main() {
             "fig2" => {
                 let f = fig2::run(&config);
                 print(&f.render());
-                write(&out, "fig2_cdf.csv", &export::cdf_series_csv(&export::fig2_series(&f)));
+                write(
+                    &out,
+                    "fig2_cdf.csv",
+                    &export::cdf_series_csv(&export::fig2_series(&f)),
+                );
             }
             "fig3" => {
                 let f = fig3::run(&config);
                 print(&f.render());
-                write(&out, "fig3_bars.csv", &export::bars_csv(&export::fig3_bars(&f)));
+                write(
+                    &out,
+                    "fig3_bars.csv",
+                    &export::bars_csv(&export::fig3_bars(&f)),
+                );
+                // Platform-wide telemetry for the sweep: deterministic for
+                // a fixed seed, so diffable across runs.
+                write(&out, "platform_metrics.json", &f.metrics.to_json());
             }
             "fig4" => {
                 let f = fig4::run(&config);
                 print(&f.render());
-                write(&out, "fig4_cdf.csv", &export::cdf_series_csv(&export::fig4_series(&f)));
+                write(
+                    &out,
+                    "fig4_cdf.csv",
+                    &export::cdf_series_csv(&export::fig4_series(&f)),
+                );
             }
             "fig5" => {
                 let f = fig5::run(&config);
                 print(&f.render());
-                write(&out, "fig5_cdf.csv", &export::cdf_series_csv(&export::fig5_series(&f)));
+                write(
+                    &out,
+                    "fig5_cdf.csv",
+                    &export::cdf_series_csv(&export::fig5_series(&f)),
+                );
             }
             "fig6" => {
                 let f = fig6::run(&config);
                 print(&f.render());
-                write(&out, "fig6_bars.csv", &export::bars_csv(&export::fig6_bars(&f)));
+                write(
+                    &out,
+                    "fig6_bars.csv",
+                    &export::bars_csv(&export::fig6_bars(&f)),
+                );
             }
             "table2" => {
                 let t = table2::run(&config);

@@ -92,12 +92,7 @@ impl GuiSession {
 
     /// A mouse click inside the interactive area: executed on the device
     /// as a tap at the same coordinates.
-    pub fn click_screen(
-        &mut self,
-        vp: &mut VantagePoint,
-        x: u32,
-        y: u32,
-    ) -> Result<(), GuiError> {
+    pub fn click_screen(&mut self, vp: &mut VantagePoint, x: u32, y: u32) -> Result<(), GuiError> {
         vp.execute_adb(&self.device_id, &format!("input tap {x} {y}"))?;
         self.clicks += 1;
         Ok(())
@@ -161,15 +156,21 @@ mod tests {
             .click_toolbar(&mut vp, ToolbarAction::ListDevices)
             .unwrap()
             .contains("gui-dev"));
-        gui.click_toolbar(&mut vp, ToolbarAction::PowerMonitor).unwrap();
-        gui.click_toolbar(&mut vp, ToolbarAction::SetVoltage(4.0)).unwrap();
-        gui.click_toolbar(&mut vp, ToolbarAction::BattSwitch).unwrap();
-        gui.click_toolbar(&mut vp, ToolbarAction::StartMonitor).unwrap();
+        gui.click_toolbar(&mut vp, ToolbarAction::PowerMonitor)
+            .unwrap();
+        gui.click_toolbar(&mut vp, ToolbarAction::SetVoltage(4.0))
+            .unwrap();
+        gui.click_toolbar(&mut vp, ToolbarAction::BattSwitch)
+            .unwrap();
+        gui.click_toolbar(&mut vp, ToolbarAction::StartMonitor)
+            .unwrap();
         vp.device_handle("gui-dev").unwrap().with_sim(|s| {
             s.set_screen(true);
             s.play_video(batterylab_sim::SimDuration::from_secs(5));
         });
-        let out = gui.click_toolbar(&mut vp, ToolbarAction::StopMonitor).unwrap();
+        let out = gui
+            .click_toolbar(&mut vp, ToolbarAction::StopMonitor)
+            .unwrap();
         assert!(out.starts_with("discharge_mah="));
     }
 
@@ -193,6 +194,9 @@ mod tests {
         let device = vp.device_handle("gui-dev").unwrap();
         let t0 = device.with_sim(|s| s.now());
         gui.click_screen(&mut vp, 100, 200).unwrap();
-        assert!(device.with_sim(|s| s.now()) > t0, "tap consumed device time");
+        assert!(
+            device.with_sim(|s| s.now()) > t0,
+            "tap consumed device time"
+        );
     }
 }

@@ -1,8 +1,8 @@
 //! # batterylab-controller
 //!
 //! The vantage-point controller (§3.2): a Raspberry Pi 3B+ resource model
-//! ([`PiModel`]), the [`VantagePoint`] orchestrating Monsoon + relay board
-//! + WiFi power socket + test devices + VPN + mirroring, the Table 1 API
+//! ([`PiModel`]), the [`VantagePoint`] orchestrating Monsoon, relay board,
+//! WiFi power socket, test devices, VPN, and mirroring, the Table 1 API
 //! as its methods, and the noVNC [`GuiSession`] of Fig. 1(c).
 
 #![warn(missing_docs)]
@@ -13,6 +13,4 @@ mod vantage;
 
 pub use gui::{GuiError, GuiSession, ToolbarAction};
 pub use pi::{LoadSource, PiModel, PI_CORES, PI_RAM_MB};
-pub use vantage::{
-    ControllerError, MeasurementReport, VantageConfig, VantagePoint,
-};
+pub use vantage::{ControllerError, MeasurementReport, VantageConfig, VantagePoint};

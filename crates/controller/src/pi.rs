@@ -118,7 +118,10 @@ mod tests {
         p.set_source("monsoon-poll", 0.22, 30.0);
         let samples: Vec<f64> = (0..100).map(|_| p.sample_cpu()).collect();
         let mean = samples.iter().sum::<f64>() / 100.0;
-        assert!((0.20..0.30).contains(&mean), "mean {mean}, paper shows 25 %");
+        assert!(
+            (0.20..0.30).contains(&mean),
+            "mean {mean}, paper shows 25 %"
+        );
     }
 
     #[test]

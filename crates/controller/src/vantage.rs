@@ -15,6 +15,7 @@ use batterylab_power::{
 use batterylab_relay::{BoardError, ChannelRoute, CircuitSwitch, RelayBoard};
 use batterylab_sim::{SimDuration, SimRng, SimTime, TimeSeries};
 use batterylab_stats::{Cdf, EnergyAccumulator};
+use batterylab_telemetry::{Counter, Histogram, Registry};
 
 use crate::pi::PiModel;
 
@@ -109,6 +110,33 @@ struct ActiveMeasurement {
     started: SimTime,
 }
 
+/// Pre-resolved telemetry handles (`controller.*` metrics).
+struct ControllerTelemetry {
+    registry: Registry,
+    measurements_started: Counter,
+    measurements_completed: Counter,
+    measurements_aborted: Counter,
+    measurement_us: Histogram,
+    adb_commands: Counter,
+    socket_retries: Counter,
+    vpn_switches: Counter,
+}
+
+impl ControllerTelemetry {
+    fn bind(registry: &Registry) -> Self {
+        ControllerTelemetry {
+            measurements_started: registry.counter("controller.measurements_started"),
+            measurements_completed: registry.counter("controller.measurements_completed"),
+            measurements_aborted: registry.counter("controller.measurements_aborted"),
+            measurement_us: registry.histogram("controller.measurement_us"),
+            adb_commands: registry.counter("controller.adb_commands"),
+            socket_retries: registry.counter("controller.socket_retries"),
+            vpn_switches: registry.counter("controller.vpn_switches"),
+            registry: registry.clone(),
+        }
+    }
+}
+
 /// A measurement result handed back through the job workspace.
 #[derive(Clone, Debug)]
 pub struct MeasurementReport {
@@ -161,18 +189,22 @@ pub struct VantagePoint {
     /// Monsoon-polling load was on the Pi, for historical CPU sampling.
     past_measurements: Vec<(String, SimTime, SimTime)>,
     rng: SimRng,
+    /// Shared metrics registry every subsystem on this node reports into.
+    registry: Registry,
+    telemetry: ControllerTelemetry,
 }
 
 impl VantagePoint {
     /// Bring up a vantage point from `config` with the experiment seed.
     pub fn new(config: VantageConfig, rng: SimRng) -> Self {
-        let switch = CircuitSwitch::new(config.relay_channels);
+        let registry = Registry::new();
+        let switch = CircuitSwitch::new(config.relay_channels).with_telemetry(&registry);
         let pins: Vec<usize> = (0..config.relay_channels).map(|i| 17 + i).collect();
         let board = RelayBoard::new(Arc::clone(&switch), pins).expect("valid pin map");
         let vpn = VpnClient::new(config.uplink);
         VantagePoint {
             pi: PiModel::new(rng.derive("pi")),
-            monsoon: Monsoon::new(rng.derive("monsoon")),
+            monsoon: Monsoon::new(rng.derive("monsoon")).with_telemetry(&registry),
             socket: PowerSocket::new(),
             board,
             switch,
@@ -184,8 +216,36 @@ impl VantagePoint {
             active: None,
             past_measurements: Vec::new(),
             rng: rng.derive("vantage"),
+            telemetry: ControllerTelemetry::bind(&registry),
+            registry,
             config,
         }
+    }
+
+    /// Rebind this node — monsoon, relay switch, every ADB link and mirror
+    /// session included — to a shared registry (fleet aggregation).
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.set_telemetry(registry);
+        self
+    }
+
+    /// In-place variant of [`Self::with_telemetry`].
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.registry = registry.clone();
+        self.telemetry = ControllerTelemetry::bind(registry);
+        self.monsoon.set_telemetry(registry);
+        self.switch.set_telemetry(registry);
+        for link in self.adb_links.values_mut() {
+            link.set_telemetry(registry);
+        }
+        for session in self.mirrors.values_mut() {
+            session.set_telemetry(registry);
+        }
+    }
+
+    /// The registry this node's subsystems report into.
+    pub fn telemetry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Node name.
@@ -242,12 +302,14 @@ impl VantagePoint {
             self.pi.clear_source(&format!("vnc/{device_id}"));
             return Ok(false);
         }
-        let mut session = MirrorSession::new(device, EncoderConfig::default(), "batterylab");
+        let mut session = MirrorSession::new(device, EncoderConfig::default(), "batterylab")
+            .with_telemetry(&self.registry);
         session.start()?;
         // Memory/base-CPU of scrcpy receiver + tigervnc + noVNC (the ≈6 %
         // memory the paper measures); the change-driven CPU is added at
         // sampling time.
-        self.pi.set_source(&format!("mirror/{device_id}"), 0.0, 48.0);
+        self.pi
+            .set_source(&format!("mirror/{device_id}"), 0.0, 48.0);
         self.pi.set_source(&format!("vnc/{device_id}"), 0.0, 17.0);
         self.mirrors.insert(device_id.to_string(), session);
         Ok(true)
@@ -259,7 +321,11 @@ impl VantagePoint {
     }
 
     /// Attach a viewer (noVNC browser tab) to a running mirror session.
-    pub fn attach_viewer(&mut self, device_id: &str, password: &str) -> Result<(), ControllerError> {
+    pub fn attach_viewer(
+        &mut self,
+        device_id: &str,
+        password: &str,
+    ) -> Result<(), ControllerError> {
         let session = self
             .mirrors
             .get_mut(device_id)
@@ -280,6 +346,7 @@ impl VantagePoint {
             if result.is_ok() {
                 break;
             }
+            self.telemetry.socket_retries.inc();
             result = self.socket.togglex(now, target);
         }
         let state = result?;
@@ -344,6 +411,14 @@ impl VantagePoint {
         // paper observes on the controller (Fig. 5).
         self.pi.set_source("monsoon-poll", 0.22, 30.0);
         let started = device.with_sim(|s| s.now());
+        self.telemetry.measurements_started.inc();
+        self.telemetry
+            .registry
+            .clock()
+            .advance_to(started.as_micros());
+        self.telemetry
+            .registry
+            .event("controller.measurement_started", device_id);
         self.active = Some(ActiveMeasurement {
             serial: device_id.to_string(),
             channel,
@@ -360,7 +435,10 @@ impl VantagePoint {
 
     /// As [`Self::stop_monitor`] with a decimated rate for long runs
     /// (streaming mode keeps Pi memory bounded).
-    pub fn stop_monitor_at_rate(&mut self, rate_hz: f64) -> Result<MeasurementReport, ControllerError> {
+    pub fn stop_monitor_at_rate(
+        &mut self,
+        rate_hz: f64,
+    ) -> Result<MeasurementReport, ControllerError> {
         let active = self.active.take().ok_or(ControllerError::NoMeasurement)?;
         let (_, device) = self.device(&active.serial)?;
         let device = device.clone();
@@ -373,12 +451,20 @@ impl VantagePoint {
             ));
         }
         let meter_side = self.switch.meter_side();
-        let run = self
-            .monsoon
-            .sample_run_at_rate(&meter_side, active.started, duration, rate_hz)?;
+        let run =
+            self.monsoon
+                .sample_run_at_rate(&meter_side, active.started, duration, rate_hz)?;
         let _ = active.channel;
         self.past_measurements
             .push((active.serial.clone(), active.started, end));
+        self.telemetry.measurements_completed.inc();
+        self.telemetry
+            .measurement_us
+            .record((end - active.started).as_micros());
+        self.telemetry.registry.clock().advance_to(end.as_micros());
+        self.telemetry
+            .registry
+            .event("controller.measurement_completed", &active.serial);
         Ok(MeasurementReport {
             serial: active.serial,
             voltage_v: run.voltage_v,
@@ -399,6 +485,10 @@ impl VantagePoint {
             self.past_measurements
                 .push((active.serial.clone(), active.started, end));
         }
+        self.telemetry.measurements_aborted.inc();
+        self.telemetry
+            .registry
+            .event("controller.measurement_aborted", &active.serial);
         Ok(())
     }
 
@@ -409,14 +499,21 @@ impl VantagePoint {
 
     /// `execute_adb` — run an ADB command against `device_id` over the
     /// WiFi automation channel (creating it on first use).
-    pub fn execute_adb(&mut self, device_id: &str, command: &str) -> Result<String, ControllerError> {
+    pub fn execute_adb(
+        &mut self,
+        device_id: &str,
+        command: &str,
+    ) -> Result<String, ControllerError> {
         let (_, device) = self.device(device_id)?;
         let device = device.clone();
         let key = self.adb_key.clone();
+        self.telemetry.adb_commands.inc();
+        let registry = self.registry.clone();
         let link = match self.adb_links.entry(device_id.to_string()) {
             std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::btree_map::Entry::Vacant(e) => {
-                let mut link = AdbLink::new(device, TransportKind::WiFi, key);
+                let mut link =
+                    AdbLink::new(device, TransportKind::WiFi, key).with_telemetry(&registry);
                 link.connect()?;
                 e.insert(link)
             }
@@ -448,6 +545,10 @@ impl VantagePoint {
     /// every device's network path through it.
     pub fn connect_vpn(&mut self, location: VpnLocation) -> Result<(), ControllerError> {
         self.vpn.switch(location);
+        self.telemetry.vpn_switches.inc();
+        self.telemetry
+            .registry
+            .event("controller.vpn_switch", format!("{location:?}"));
         self.repoint_devices();
         Ok(())
     }
@@ -455,6 +556,10 @@ impl VantagePoint {
     /// Tear the tunnel down.
     pub fn disconnect_vpn(&mut self) -> Result<(), ControllerError> {
         self.vpn.disconnect()?;
+        self.telemetry.vpn_switches.inc();
+        self.telemetry
+            .registry
+            .event("controller.vpn_switch", "off");
         self.repoint_devices();
         Ok(())
     }
@@ -536,6 +641,11 @@ impl VantagePoint {
     /// Direct Pi access (benchmarks).
     pub fn pi_mut(&mut self) -> &mut PiModel {
         &mut self.pi
+    }
+
+    /// Direct WiFi-socket access (fault injection in tests).
+    pub fn socket_mut(&mut self) -> &mut PowerSocket {
+        &mut self.socket
     }
 
     /// A device handle by serial.
@@ -662,7 +772,9 @@ mod tests {
         let out = vp.execute_adb(&serial, "echo batterylab").unwrap();
         assert_eq!(out, "batterylab\n");
         // Second call reuses the link.
-        let out2 = vp.execute_adb(&serial, "getprop ro.build.version.sdk").unwrap();
+        let out2 = vp
+            .execute_adb(&serial, "getprop ro.build.version.sdk")
+            .unwrap();
         assert_eq!(out2.trim(), "26");
     }
 
@@ -695,6 +807,62 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_spans_every_subsystem_family() {
+        let (mut vp, serial) = vantage(11);
+        vp.power_monitor().unwrap();
+        vp.batt_switch(&serial).unwrap();
+        vp.execute_adb(&serial, "echo warm").unwrap();
+        vp.device_mirroring(&serial).unwrap();
+        vp.start_monitor(&serial).unwrap();
+        let device = vp.device_handle(&serial).unwrap();
+        device.with_sim(|s| {
+            s.set_screen(true);
+            s.play_video(SimDuration::from_secs(5));
+        });
+        vp.pump_mirrors().unwrap();
+        let report_run = vp.stop_monitor_at_rate(500.0).unwrap();
+        vp.connect_vpn(VpnLocation::Japan).unwrap();
+
+        let report = vp.telemetry().snapshot();
+        assert_eq!(report.counter("controller.measurements_started"), 1);
+        assert_eq!(report.counter("controller.measurements_completed"), 1);
+        assert_eq!(report.counter("controller.adb_commands"), 1);
+        assert_eq!(report.counter("controller.vpn_switches"), 1);
+        assert_eq!(
+            report.counter("power.samples"),
+            report_run.samples.len() as u64
+        );
+        assert!(report.counter("relay.actuations") >= 1);
+        assert!(report.counter("adb.frames_tx") > 0);
+        assert!(report.counter("mirror.encoded_bytes") > 0);
+        // One registry, five subsystem families reporting into it.
+        let families = report.families();
+        for family in ["controller", "power", "relay", "adb", "mirror"] {
+            assert!(
+                families.iter().any(|f| f == family),
+                "missing family {family}"
+            );
+        }
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.label == "controller.measurement_started"));
+    }
+
+    #[test]
+    fn aborted_measurements_are_counted() {
+        let (mut vp, serial) = vantage(12);
+        vp.power_monitor().unwrap();
+        vp.batt_switch(&serial).unwrap();
+        vp.start_monitor(&serial).unwrap();
+        vp.abort_monitor().unwrap();
+        let report = vp.telemetry().snapshot();
+        assert_eq!(report.counter("controller.measurements_started"), 1);
+        assert_eq!(report.counter("controller.measurements_aborted"), 1);
+        assert_eq!(report.counter("controller.measurements_completed"), 0);
+    }
+
+    #[test]
     fn controller_cpu_with_and_without_mirroring() {
         let (mut vp, serial) = vantage(10);
         vp.power_monitor().unwrap();
@@ -712,7 +880,10 @@ mod tests {
         let plain = vp.controller_cpu_samples(&serial, t0, t1, 1.0).unwrap();
         let _ = vp.stop_monitor_at_rate(100.0).unwrap();
         let plain_median = Cdf::from_samples(&plain).median();
-        assert!((0.18..0.33).contains(&plain_median), "median {plain_median}, paper ≈0.25");
+        assert!(
+            (0.18..0.33).contains(&plain_median),
+            "median {plain_median}, paper ≈0.25"
+        );
 
         // With mirroring: median ≈75 %, ≈10 % above 95 %.
         vp.device_mirroring(&serial).unwrap();
@@ -723,7 +894,11 @@ mod tests {
         let mirrored = vp.controller_cpu_samples(&serial, t2, t3, 1.0).unwrap();
         let _ = vp.stop_monitor_at_rate(100.0).unwrap();
         let cdf = Cdf::from_samples(&mirrored);
-        assert!((0.60..0.90).contains(&cdf.median()), "median {}", cdf.median());
+        assert!(
+            (0.60..0.90).contains(&cdf.median()),
+            "median {}",
+            cdf.median()
+        );
         let above95 = cdf.fraction_above(0.95);
         assert!((0.02..0.30).contains(&above95), "P(load>95%) = {above95}");
     }

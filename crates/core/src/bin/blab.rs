@@ -13,12 +13,12 @@
 //! blab latency --trials 40
 //! ```
 
+use batterylab::eval::common::{measured_browser_run, EvalConfig};
 use batterylab::mirror::{colocated_path, LatencyProbe};
 use batterylab::net::{Region, VpnLocation};
 use batterylab::platform::Platform;
 use batterylab::sim::{SimDuration, SimRng};
 use batterylab::workloads::{stream_video, BrowserProfile, StreamProfile};
-use batterylab::eval::common::{measured_browser_run, EvalConfig};
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -57,7 +57,9 @@ impl Args {
     }
 
     fn u64_or(&self, key: &str, default: u64) -> u64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -73,6 +75,8 @@ fn usage() -> ! {
            stream   [--seconds N] [--mbps X]        measured adaptive-streaming workload\n\
            speedtest                       characterise the five VPN exits (Table 2)\n\
            latency  [--trials N]           click-to-display probe (§4.2)\n\
+           metrics  [--seconds N] [--json] run a seeded measured workload and dump\n\
+                                           the platform-wide telemetry snapshot\n\
          \n\
          global: --seed N (default 42)"
     );
@@ -139,7 +143,11 @@ fn main() {
             println!("device    : {serial} (mirroring={mirror})");
             println!("samples   : {} @ {rate} Hz", report.samples.len());
             println!("median    : {:.1} mA", cdf.median());
-            println!("p10..p90  : {:.1}..{:.1} mA", cdf.quantile(0.1), cdf.quantile(0.9));
+            println!(
+                "p10..p90  : {:.1}..{:.1} mA",
+                cdf.quantile(0.1),
+                cdf.quantile(0.9)
+            );
             println!("discharge : {:.3} mAh over {seconds} s", report.mah());
         }
 
@@ -183,14 +191,8 @@ fn main() {
             let vp = platform.node1();
             vp.connect_vpn(location).expect("tunnel");
             println!("tunnel up via {location}; running {}...", profile.name);
-            let report = measured_browser_run(
-                vp,
-                &serial,
-                profile,
-                Region::Vpn(location),
-                false,
-                &config,
-            );
+            let report =
+                measured_browser_run(vp, &serial, profile, Region::Vpn(location), false, &config);
             vp.disconnect_vpn().expect("teardown");
             println!("discharge : {:.3} mAh", report.mah());
         }
@@ -219,9 +221,17 @@ fn main() {
             );
             let report = vp.stop_monitor_at_rate(500.0).expect("report");
             println!("streamed   : {:.0} s of {mbps} Mbps video", stats.played_s);
-            println!("fetched    : {:.1} MB in {} segments ({} stalls)",
-                stats.bytes as f64 / 1e6, stats.segments, stats.stalls);
-            println!("discharge  : {:.3} mAh (mean {:.1} mA)", report.mah(), report.mean_ma());
+            println!(
+                "fetched    : {:.1} MB in {} segments ({} stalls)",
+                stats.bytes as f64 / 1e6,
+                stats.segments,
+                stats.stalls
+            );
+            println!(
+                "discharge  : {:.3} mAh (mean {:.1} mA)",
+                report.mah(),
+                report.mean_ma()
+            );
         }
 
         "speedtest" => {
@@ -230,6 +240,38 @@ fn main() {
                 ..EvalConfig::quick(seed)
             };
             print!("{}", batterylab::eval::table2::run(&config).render());
+        }
+
+        "metrics" => {
+            let seconds = args.u64_or("seconds", 30);
+            if seconds == 0 {
+                eprintln!("metrics: --seconds must be at least 1");
+                std::process::exit(2);
+            }
+            let mut platform = Platform::paper_testbed(seed);
+            let serial = platform.j7_serial().to_string();
+            let vp = platform.node1();
+            vp.power_monitor().expect("socket");
+            vp.set_voltage(4.0).expect("voltage");
+            vp.batt_switch(&serial).expect("bypass");
+            vp.execute_adb(&serial, "getprop ro.product.model")
+                .expect("adb");
+            vp.device_mirroring(&serial).expect("mirroring");
+            vp.attach_viewer(&serial, "batterylab").expect("viewer");
+            vp.start_monitor(&serial).expect("armed");
+            let device = vp.device_handle(&serial).expect("device");
+            device.with_sim(|s| {
+                s.set_screen(true);
+                s.play_video(SimDuration::from_secs(seconds));
+            });
+            vp.pump_mirrors().expect("mirror pump");
+            let _ = vp.stop_monitor_at_rate(500.0).expect("report");
+            let report = platform.metrics();
+            if args.flag("json") {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_text());
+            }
         }
 
         "latency" => {

@@ -101,8 +101,13 @@ pub fn measured_browser_run(
     }
     vp.start_monitor(serial).expect("armed");
     let device = vp.device_handle(serial).expect("device attached");
-    let mut backend = AdbBackend::connect(device.clone(), TransportKind::WiFi, vp.adb_key().clone())
-        .expect("wifi adb");
+    let registry = vp.telemetry().clone();
+    let mut backend =
+        AdbBackend::connect(device.clone(), TransportKind::WiFi, vp.adb_key().clone())
+            .expect("wifi adb");
+    // The workload channel reports into the node's registry like any
+    // link the controller itself opens.
+    backend.link_mut().set_telemetry(&registry);
     let mut runner = BrowserRunner::new(device.clone(), &mut backend, profile, region);
     // The §4.3 protocol turns Lite Pages off for comparability.
     runner.set_lite_pages(false);
@@ -143,8 +148,16 @@ mod tests {
             false,
             &config,
         );
-        assert!(report.mah() > 0.5, "3 pages must cost energy: {}", report.mah());
-        assert!(report.mean_ma() > 100.0, "screen-on workload: {}", report.mean_ma());
+        assert!(
+            report.mah() > 0.5,
+            "3 pages must cost energy: {}",
+            report.mah()
+        );
+        assert!(
+            report.mean_ma() > 100.0,
+            "screen-on workload: {}",
+            report.mean_ma()
+        );
     }
 
     #[test]

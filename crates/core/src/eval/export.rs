@@ -93,7 +93,11 @@ pub fn fig5_series(f: &fig5::Fig5) -> Vec<CdfSeries> {
         .iter()
         .map(|l| {
             cdf_series(
-                if l.mirroring { "mirroring" } else { "no-mirroring" },
+                if l.mirroring {
+                    "mirroring"
+                } else {
+                    "no-mirroring"
+                },
                 &l.cpu,
             )
         })
@@ -155,7 +159,10 @@ pub fn cdf_series_csv(series: &[CdfSeries]) -> String {
 pub fn bars_csv(bars: &[Bar]) -> String {
     let mut out = String::from("group,series,mean,std_dev\n");
     for b in bars {
-        out.push_str(&format!("{},{},{},{}\n", b.group, b.series, b.mean, b.std_dev));
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            b.group, b.series, b.mean, b.std_dev
+        ));
     }
     out
 }

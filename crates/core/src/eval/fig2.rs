@@ -80,9 +80,7 @@ impl Fig2 {
 
     /// Render the figure's series as a text table: quantiles per scenario.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Figure 2: CDF of current drawn (mA), 5-min mp4 playback\n",
-        );
+        let mut out = String::from("Figure 2: CDF of current drawn (mA), 5-min mp4 playback\n");
         out.push_str(&format!(
             "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
             "scenario", "p10", "p25", "p50", "p75", "p90"
@@ -138,15 +136,27 @@ pub fn run(config: &EvalConfig) -> Fig2 {
 
         let run = if scenario.through_relay() {
             let switch = CircuitSwitch::new(1);
-            switch.attach(0, Arc::new(device.clone())).expect("channel 0");
+            switch
+                .attach(0, Arc::new(device.clone()))
+                .expect("channel 0");
             switch.engage_bypass(0, start).expect("device attached");
             let meter_side = switch.meter_side();
             monsoon
-                .sample_run_at_rate(&meter_side, start, config.fig2_duration_s, config.sample_rate_hz)
+                .sample_run_at_rate(
+                    &meter_side,
+                    start,
+                    config.fig2_duration_s,
+                    config.sample_rate_hz,
+                )
                 .expect("sampling")
         } else {
             monsoon
-                .sample_run_at_rate(&device, start, config.fig2_duration_s, config.sample_rate_hz)
+                .sample_run_at_rate(
+                    &device,
+                    start,
+                    config.fig2_duration_s,
+                    config.sample_rate_hz,
+                )
                 .expect("sampling")
         };
         scenarios.push((scenario, Cdf::from_samples(run.samples.values())));
@@ -172,7 +182,11 @@ mod tests {
         let direct = f.cdf(Fig2Scenario::Direct).median();
         let relay = f.cdf(Fig2Scenario::Relay).median();
         let rel = (direct - relay).abs() / direct;
-        assert!(rel < 0.02, "direct {direct} vs relay {relay}: {:.2}%", rel * 100.0);
+        assert!(
+            rel < 0.02,
+            "direct {direct} vs relay {relay}: {:.2}%",
+            rel * 100.0
+        );
     }
 
     #[test]
@@ -181,7 +195,10 @@ mod tests {
         let plain = f.cdf(Fig2Scenario::Relay).median();
         let mirrored = f.cdf(Fig2Scenario::RelayMirroring).median();
         assert!((145.0..180.0).contains(&plain), "plain median {plain}");
-        assert!((200.0..245.0).contains(&mirrored), "mirrored median {mirrored}");
+        assert!(
+            (200.0..245.0).contains(&mirrored),
+            "mirrored median {mirrored}"
+        );
         assert!((40.0..85.0).contains(&(mirrored - plain)));
     }
 

@@ -12,6 +12,7 @@
 use batterylab_net::Region;
 use batterylab_server::{Constraints, JobOutcome, Payload};
 use batterylab_stats::Summary;
+use batterylab_telemetry::Report;
 use batterylab_workloads::BrowserProfile;
 
 use crate::eval::common::{measured_browser_run, EvalConfig};
@@ -32,6 +33,10 @@ pub struct Fig3Bar {
 pub struct Fig3 {
     /// All bars: 4 browsers × {plain, mirroring}.
     pub bars: Vec<Fig3Bar>,
+    /// Platform-wide telemetry snapshot taken after the whole sweep:
+    /// every job went through the scheduler, ADB, the Monsoon, the relay
+    /// switch and (for half the bars) the mirroring stack.
+    pub metrics: Report,
 }
 
 impl Fig3 {
@@ -139,7 +144,8 @@ pub fn run(config: &EvalConfig) -> Fig3 {
             });
         }
     }
-    Fig3 { bars }
+    let metrics = platform.metrics();
+    Fig3 { bars, metrics }
 }
 
 #[cfg(test)]
@@ -154,8 +160,16 @@ mod tests {
     fn brave_cheapest_firefox_dearest() {
         let f = fig3();
         let ranking = f.ranking();
-        assert_eq!(ranking.first().map(String::as_str), Some("Brave"), "{ranking:?}");
-        assert_eq!(ranking.last().map(String::as_str), Some("Firefox"), "{ranking:?}");
+        assert_eq!(
+            ranking.first().map(String::as_str),
+            Some("Brave"),
+            "{ranking:?}"
+        );
+        assert_eq!(
+            ranking.last().map(String::as_str),
+            Some("Firefox"),
+            "{ranking:?}"
+        );
     }
 
     #[test]
@@ -184,6 +198,27 @@ mod tests {
         let brave = f.bar("Brave", true).discharge_mah.mean;
         let firefox = f.bar("Firefox", true).discharge_mah.mean;
         assert!(brave < firefox);
+    }
+
+    #[test]
+    fn metrics_cover_five_families_and_are_deterministic() {
+        let config = EvalConfig::quick(13);
+        let a = run(&config);
+        let families = a.metrics.families();
+        for family in ["power", "relay", "adb", "mirror", "controller", "scheduler"] {
+            assert!(
+                families.iter().any(|f| f == family),
+                "missing family {family}: {families:?}"
+            );
+        }
+        assert!(a.metrics.counter("power.samples") > 0);
+        assert!(a.metrics.counter("scheduler.jobs_succeeded") > 0);
+        assert!(a.metrics.counter("adb.frames_tx") > 0);
+        assert!(a.metrics.counter("mirror.encoded_bytes") > 0);
+        assert!(a.metrics.counter("relay.actuations") > 0);
+        // Same seed → byte-identical snapshot (virtual-clock timestamps).
+        let b = run(&config);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
     }
 
     #[test]

@@ -37,8 +37,7 @@ impl Fig5 {
 
     /// Render quantiles.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Figure 5: CDF of CPU utilisation at the controller (Pi 3B+)\n");
+        let mut out = String::from("Figure 5: CDF of CPU utilisation at the controller (Pi 3B+)\n");
         out.push_str(&format!(
             "{:<16} {:>8} {:>8} {:>8} {:>10}\n",
             "line", "p25", "p50", "p90", "P(>95%)"
@@ -46,7 +45,11 @@ impl Fig5 {
         for l in &self.lines {
             out.push_str(&format!(
                 "{:<16} {:>7.1}% {:>7.1}% {:>7.1}% {:>9.1}%\n",
-                if l.mirroring { "mirroring" } else { "no-mirroring" },
+                if l.mirroring {
+                    "mirroring"
+                } else {
+                    "no-mirroring"
+                },
                 l.cpu.quantile(0.25) * 100.0,
                 l.cpu.median() * 100.0,
                 l.cpu.quantile(0.90) * 100.0,
@@ -105,7 +108,11 @@ mod tests {
     fn no_mirroring_is_constant_quarter() {
         let f = fig5();
         let cdf = &f.line(false).cpu;
-        assert!((0.18..0.33).contains(&cdf.median()), "median {}", cdf.median());
+        assert!(
+            (0.18..0.33).contains(&cdf.median()),
+            "median {}",
+            cdf.median()
+        );
         // "Constant": tight distribution.
         let spread = cdf.quantile(0.9) - cdf.quantile(0.1);
         assert!(spread < 0.12, "no-mirroring spread {spread}");
@@ -116,9 +123,15 @@ mod tests {
         let f = fig5();
         let cdf = &f.line(true).cpu;
         let median = cdf.median();
-        assert!((0.55..0.92).contains(&median), "median {median}, paper ≈0.75");
+        assert!(
+            (0.55..0.92).contains(&median),
+            "median {median}, paper ≈0.75"
+        );
         let above95 = cdf.fraction_above(0.95);
-        assert!((0.01..0.35).contains(&above95), "P(>95%) = {above95}, paper ≈0.10");
+        assert!(
+            (0.01..0.35).contains(&above95),
+            "P(>95%) = {above95}, paper ≈0.10"
+        );
     }
 
     #[test]

@@ -155,7 +155,10 @@ mod tests {
             .map(|&l| f.bar("Brave", l).discharge_mah.mean)
             .collect();
         let brave_other_mean = brave_others.iter().sum::<f64>() / brave_others.len() as f64;
-        assert!(brave_japan > brave_other_mean * 0.92, "Brave in Japan is in line");
+        assert!(
+            brave_japan > brave_other_mean * 0.92,
+            "Brave in Japan is in line"
+        );
     }
 
     #[test]

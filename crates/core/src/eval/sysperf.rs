@@ -23,12 +23,34 @@ pub struct SysPerf {
     pub memory_plain: f64,
     /// Controller memory fraction with mirroring.
     pub memory_mirroring: f64,
-    /// Mirroring upload bytes over the test.
+    /// Mirroring upload bytes over the test, from the shared telemetry
+    /// registry (`mirror.upload_bytes`).
     pub upload_bytes: u64,
     /// Test duration, seconds.
     pub test_secs: f64,
     /// Click-to-display latency over the trials (seconds).
     pub latency: Summary,
+    /// The old ad-hoc probe (summing live mirror sessions) — kept so the
+    /// two derivations can be asserted against each other.
+    pub probe_upload_bytes: u64,
+    /// The rest of the registry-derived picture of the mirrored run.
+    pub telemetry: SysPerfTelemetry,
+}
+
+/// §4.2 numbers re-derived from the platform registry: what the metrics
+/// subsystem saw while the probes above were measuring the same run.
+pub struct SysPerfTelemetry {
+    /// Raw encoder output bytes (`mirror.encoded_bytes`).
+    pub encoded_bytes: u64,
+    /// Monsoon samples drawn during the mirrored run (`power.samples`).
+    pub power_samples: u64,
+    /// Samples the measurement report actually carries (probe side).
+    pub probe_power_samples: u64,
+    /// Measurements completed on the node
+    /// (`controller.measurements_completed`).
+    pub measurements_completed: u64,
+    /// ADB frames sent while driving the workload (`adb.frames_tx`).
+    pub adb_frames_tx: u64,
 }
 
 impl SysPerf {
@@ -71,7 +93,9 @@ pub fn run(config: &EvalConfig) -> SysPerf {
         config,
     );
     let (f0, t0) = report.window;
-    let plain_samples = vp.controller_cpu_samples(&serial, f0, t0, 1.0).expect("device");
+    let plain_samples = vp
+        .controller_cpu_samples(&serial, f0, t0, 1.0)
+        .expect("device");
     let controller_cpu_plain =
         plain_samples.iter().sum::<f64>() / plain_samples.len().max(1) as f64;
 
@@ -80,7 +104,8 @@ pub fn run(config: &EvalConfig) -> SysPerf {
     let serial = platform.j7_serial().to_string();
     let vp = platform.node1();
     vp.device_mirroring(&serial).expect("mirroring starts");
-    vp.attach_viewer(&serial, "batterylab").expect("viewer joins");
+    vp.attach_viewer(&serial, "batterylab")
+        .expect("viewer joins");
     let memory_mirroring = vp.memory_fraction();
     let report = measured_browser_run(
         vp,
@@ -91,12 +116,27 @@ pub fn run(config: &EvalConfig) -> SysPerf {
         config,
     );
     let (f1, t1) = report.window;
-    let mirror_samples = vp.controller_cpu_samples(&serial, f1, t1, 1.0).expect("device");
+    let mirror_samples = vp
+        .controller_cpu_samples(&serial, f1, t1, 1.0)
+        .expect("device");
     let controller_cpu_mirroring =
         mirror_samples.iter().sum::<f64>() / mirror_samples.len().max(1) as f64;
-    let upload_bytes = vp.mirror_upload_bytes();
+    let probe_upload_bytes = vp.mirror_upload_bytes();
     let test_secs = (t1 - f1).as_secs_f64();
     vp.device_mirroring(&serial).expect("mirroring stops");
+
+    // Re-derive the section from the shared registry: upload traffic,
+    // sampling volume and session accounting all come out of the same
+    // snapshot the probes above measured piecewise.
+    let metrics = platform.metrics();
+    let upload_bytes = metrics.counter("mirror.upload_bytes");
+    let telemetry = SysPerfTelemetry {
+        encoded_bytes: metrics.counter("mirror.encoded_bytes"),
+        power_samples: metrics.counter("power.samples"),
+        probe_power_samples: report.samples.len() as u64,
+        measurements_completed: metrics.counter("controller.measurements_completed"),
+        adb_frames_tx: metrics.counter("adb.frames_tx"),
+    };
 
     // Latency trials, co-located with the vantage point (1 ms RTT).
     let probe = LatencyProbe::new(colocated_path());
@@ -111,6 +151,8 @@ pub fn run(config: &EvalConfig) -> SysPerf {
         upload_bytes,
         test_secs,
         latency,
+        probe_upload_bytes,
+        telemetry,
     }
 }
 
@@ -126,14 +168,20 @@ mod tests {
     fn mirroring_extra_cpu_about_half() {
         let s = sysperf();
         let extra = s.controller_cpu_mirroring - s.controller_cpu_plain;
-        assert!((0.3..0.8).contains(&extra), "extra controller CPU {extra}, paper ≈0.5");
+        assert!(
+            (0.3..0.8).contains(&extra),
+            "extra controller CPU {extra}, paper ≈0.5"
+        );
     }
 
     #[test]
     fn memory_extra_about_six_percent() {
         let s = sysperf();
         let extra = s.memory_mirroring - s.memory_plain;
-        assert!((0.03..0.10).contains(&extra), "extra memory {extra}, paper ≈0.06");
+        assert!(
+            (0.03..0.10).contains(&extra),
+            "extra memory {extra}, paper ≈0.06"
+        );
         assert!(s.memory_mirroring < 0.20, "total stays under 20 %");
     }
 
@@ -149,9 +197,27 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_rederivation_agrees_with_probes() {
+        let s = sysperf();
+        assert_eq!(s.upload_bytes, s.probe_upload_bytes);
+        assert_eq!(s.telemetry.power_samples, s.telemetry.probe_power_samples);
+        assert_eq!(s.telemetry.measurements_completed, 1);
+        assert!(s.telemetry.adb_frames_tx > 0);
+        assert!(s.telemetry.encoded_bytes > 0);
+    }
+
+    #[test]
     fn latency_matches_section() {
         let s = sysperf();
-        assert!((1.25..1.65).contains(&s.latency.mean), "mean {}", s.latency.mean);
-        assert!((0.03..0.30).contains(&s.latency.std_dev), "std {}", s.latency.std_dev);
+        assert!(
+            (1.25..1.65).contains(&s.latency.mean),
+            "mean {}",
+            s.latency.mean
+        );
+        assert!(
+            (0.03..0.30).contains(&s.latency.std_dev),
+            "std {}",
+            s.latency.std_dev
+        );
     }
 }

@@ -26,9 +26,7 @@ impl Table2 {
 
     /// Render in the paper's layout.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Table 2: ProtonVPN statistics. D=down/U=up/L=RTT\n",
-        );
+        let mut out = String::from("Table 2: ProtonVPN statistics. D=down/U=up/L=RTT\n");
         out.push_str(&format!(
             "{:<14} {:<20} {:>9} {:>9} {:>9}\n",
             "Location", "Speedtest server (km)", "D (Mbps)", "U (Mbps)", "L (ms)"
@@ -76,10 +74,22 @@ mod tests {
         let t = t2();
         // Paper: SA 6.26/9.77/222.04; CA 10.63/14.87/215.16.
         let sa = t.row(VpnLocation::SouthAfrica);
-        assert!((sa.down_mbps - 6.26).abs() < 1.0, "SA down {}", sa.down_mbps);
-        assert!((sa.latency_ms - 222.0).abs() < 20.0, "SA lat {}", sa.latency_ms);
+        assert!(
+            (sa.down_mbps - 6.26).abs() < 1.0,
+            "SA down {}",
+            sa.down_mbps
+        );
+        assert!(
+            (sa.latency_ms - 222.0).abs() < 20.0,
+            "SA lat {}",
+            sa.latency_ms
+        );
         let ca = t.row(VpnLocation::California);
-        assert!((ca.down_mbps - 10.63).abs() < 1.5, "CA down {}", ca.down_mbps);
+        assert!(
+            (ca.down_mbps - 10.63).abs() < 1.5,
+            "CA down {}",
+            ca.down_mbps
+        );
         assert!(ca.up_mbps > 12.0, "CA up {}", ca.up_mbps);
     }
 

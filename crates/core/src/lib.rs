@@ -39,30 +39,32 @@
 pub mod eval;
 pub mod platform;
 
-/// Re-export: simulation kernel.
-pub use batterylab_sim as sim;
-/// Re-export: statistics utilities.
-pub use batterylab_stats as stats;
+/// Re-export: ADB implementation.
+pub use batterylab_adb as adb;
+/// Re-export: automation backends.
+pub use batterylab_automation as automation;
+/// Re-export: vantage-point controller.
+pub use batterylab_controller as controller;
+/// Re-export: Android device simulator.
+pub use batterylab_device as device;
+/// Re-export: device mirroring.
+pub use batterylab_mirror as mirror;
 /// Re-export: network emulation.
 pub use batterylab_net as net;
 /// Re-export: power instruments.
 pub use batterylab_power as power;
 /// Re-export: relay switching.
 pub use batterylab_relay as relay;
-/// Re-export: ADB implementation.
-pub use batterylab_adb as adb;
-/// Re-export: Android device simulator.
-pub use batterylab_device as device;
-/// Re-export: device mirroring.
-pub use batterylab_mirror as mirror;
-/// Re-export: automation backends.
-pub use batterylab_automation as automation;
-/// Re-export: browser workloads.
-pub use batterylab_workloads as workloads;
-/// Re-export: vantage-point controller.
-pub use batterylab_controller as controller;
 /// Re-export: access server.
 pub use batterylab_server as server;
+/// Re-export: simulation kernel.
+pub use batterylab_sim as sim;
+/// Re-export: statistics utilities.
+pub use batterylab_stats as stats;
+/// Re-export: platform-wide metrics & tracing.
+pub use batterylab_telemetry as telemetry;
+/// Re-export: browser workloads.
+pub use batterylab_workloads as workloads;
 
 pub use eval::EvalConfig;
 pub use platform::Platform;

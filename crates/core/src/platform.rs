@@ -6,6 +6,7 @@ use batterylab_controller::{VantageConfig, VantagePoint};
 use batterylab_device::{boot_j7_duo, AndroidDevice};
 use batterylab_server::{AccessServer, Role};
 use batterylab_sim::{SimRng, SimTime};
+use batterylab_telemetry::{Registry, Report};
 use batterylab_workloads::BrowserProfile;
 
 /// A fully assembled BatteryLab deployment.
@@ -18,6 +19,9 @@ pub struct Platform {
     pub experimenter_token: u64,
     /// Root RNG for deriving experiment streams.
     pub rng: SimRng,
+    /// The platform-wide metrics registry: scheduler, every node and
+    /// every subsystem below them report here.
+    pub registry: Registry,
 }
 
 /// Ports every §3.4-compliant controller exposes.
@@ -28,6 +32,7 @@ impl Platform {
     /// with one J7 Duo that has the four §4.2 browsers installed.
     pub fn paper_testbed(seed: u64) -> Platform {
         let rng = SimRng::new(seed);
+        let registry = Registry::new();
         let mut server = AccessServer::new("52.1.2.3", "admin", "bootstrap-pw");
         let admin_token = server
             .login("admin", "bootstrap-pw", true)
@@ -58,13 +63,21 @@ impl Platform {
                 SimTime::ZERO,
             )
             .expect("enrolment");
+        server.set_telemetry(&registry);
 
         Platform {
             server,
             admin_token,
             experimenter_token,
             rng,
+            registry,
         }
+    }
+
+    /// Snapshot the platform-wide metrics (deterministic under a fixed
+    /// seed: all timestamps come from the sim virtual clock).
+    pub fn metrics(&self) -> Report {
+        self.registry.snapshot()
     }
 
     /// The single node of the paper testbed.
@@ -113,6 +126,16 @@ mod tests {
         ] {
             assert!(out.contains(pkg), "missing {pkg}");
         }
+    }
+
+    #[test]
+    fn one_registry_covers_the_deployment() {
+        let mut p = Platform::paper_testbed(3);
+        let serial = p.j7_serial().to_string();
+        p.node1().execute_adb(&serial, "echo hi").unwrap();
+        let report = p.metrics();
+        assert_eq!(report.counter("controller.adb_commands"), 1);
+        assert!(report.counter("adb.frames_tx") > 0);
     }
 
     #[test]

@@ -117,13 +117,19 @@ impl AndroidDevice {
 
     fn launch(&self, inner: &mut Inner, package: &str) -> Result<Vec<u8>, String> {
         if !inner.packages.iter().any(|p| p == package) {
-            return Err(format!("Error: Activity not started, unknown package {package}"));
+            return Err(format!(
+                "Error: Activity not started, unknown package {package}"
+            ));
         }
         inner.foreground = Some(package.to_string());
         inner.sim.set_screen(true);
         // Cold-start cost: process spawn + first draw.
-        inner.sim.run_activity(SimDuration::from_millis(1200), 0.45, 0.7);
-        inner.sim.log("ActivityManager", &format!("Displayed {package}"));
+        inner
+            .sim
+            .run_activity(SimDuration::from_millis(1200), 0.45, 0.7);
+        inner
+            .sim
+            .log("ActivityManager", &format!("Displayed {package}"));
         Ok(format!("Starting: Intent {{ cmp={package} }}\n").into_bytes())
     }
 }
@@ -153,7 +159,11 @@ impl DeviceServices for AndroidDevice {
     }
 
     fn is_key_trusted(&self, fingerprint: &str) -> bool {
-        self.inner.lock().trusted_keys.iter().any(|f| f == fingerprint)
+        self.inner
+            .lock()
+            .trusted_keys
+            .iter()
+            .any(|f| f == fingerprint)
     }
 
     fn offer_key(&mut self, fingerprint: &str) -> bool {
@@ -181,7 +191,9 @@ impl DeviceServices for AndroidDevice {
             ["echo", rest @ ..] => Ok(format!("{}\n", rest.join(" ")).into_bytes()),
 
             ["input", "tap", _x, _y] => {
-                inner.sim.run_activity(SimDuration::from_millis(90), 0.12, 0.12);
+                inner
+                    .sim
+                    .run_activity(SimDuration::from_millis(90), 0.12, 0.12);
                 Ok(Vec::new())
             }
             ["input", "swipe", _x1, _y1, _x2, _y2, ms] => {
@@ -195,11 +207,15 @@ impl DeviceServices for AndroidDevice {
             ["input", "text", text] => {
                 // Soft-keyboard text injection: cost scales with length.
                 let ms = 40 + 18 * text.len() as u64;
-                inner.sim.run_activity(SimDuration::from_millis(ms), 0.14, 0.18);
+                inner
+                    .sim
+                    .run_activity(SimDuration::from_millis(ms), 0.14, 0.18);
                 Ok(Vec::new())
             }
             ["input", "keyevent", _code] => {
-                inner.sim.run_activity(SimDuration::from_millis(70), 0.10, 0.10);
+                inner
+                    .sim
+                    .run_activity(SimDuration::from_millis(70), 0.10, 0.10);
                 Ok(Vec::new())
             }
 
@@ -211,12 +227,16 @@ impl DeviceServices for AndroidDevice {
                 if inner.foreground.as_deref() == Some(*package) {
                     inner.foreground = None;
                 }
-                inner.sim.run_activity(SimDuration::from_millis(200), 0.15, 0.05);
+                inner
+                    .sim
+                    .run_activity(SimDuration::from_millis(200), 0.15, 0.05);
                 Ok(Vec::new())
             }
             ["pm", "clear", package] => {
                 if inner.packages.iter().any(|p| p == package) {
-                    inner.sim.run_activity(SimDuration::from_millis(700), 0.25, 0.02);
+                    inner
+                        .sim
+                        .run_activity(SimDuration::from_millis(700), 0.25, 0.02);
                     Ok(b"Success\n".to_vec())
                 } else {
                     Err(format!("Failed: package {package} not found"))
@@ -245,9 +265,7 @@ impl DeviceServices for AndroidDevice {
                 let util = inner.sim.cpu_trace().last() * 100.0;
                 Ok(format!("Load: {util:.1}% TOTAL (user + kernel)\n").into_bytes())
             }
-            ["dumpsys", "meminfo"] => {
-                Ok(b"Total RAM: 3,072,000K\nFree RAM: 1,412,000K\n".to_vec())
-            }
+            ["dumpsys", "meminfo"] => Ok(b"Total RAM: 3,072,000K\nFree RAM: 1,412,000K\n".to_vec()),
             ["dumpsys", other] => Err(format!("Can't find service: {other}")),
 
             ["getprop", "ro.build.version.sdk"] => {
@@ -274,7 +292,9 @@ impl DeviceServices for AndroidDevice {
             ["screencap", "-p"] | ["screencap"] => {
                 // A screenshot: PNG magic + a deterministic body whose size
                 // tracks the panel. Costs a SurfaceFlinger round trip.
-                inner.sim.run_activity(SimDuration::from_millis(350), 0.18, 0.02);
+                inner
+                    .sim
+                    .run_activity(SimDuration::from_millis(350), 0.18, 0.02);
                 let mut png = vec![0x89, b'P', b'N', b'G', 0x0d, 0x0a, 0x1a, 0x0a];
                 png.resize(64 * 1024, 0x5a);
                 Ok(png)
@@ -342,7 +362,9 @@ mod tests {
     #[test]
     fn launch_requires_installed_package() {
         let mut d = dev();
-        let err = d.exec("shell:am start -n com.brave.browser/.Main").unwrap_err();
+        let err = d
+            .exec("shell:am start -n com.brave.browser/.Main")
+            .unwrap_err();
         assert!(err.contains("unknown package"));
         d.install_package("com.brave.browser");
         let out = d.exec("shell:am start -n com.brave.browser/.Main").unwrap();
@@ -354,7 +376,8 @@ mod tests {
     fn force_stop_clears_foreground() {
         let mut d = dev();
         d.install_package("org.mozilla.firefox");
-        d.exec("shell:am start -n org.mozilla.firefox/.App").unwrap();
+        d.exec("shell:am start -n org.mozilla.firefox/.App")
+            .unwrap();
         d.exec("shell:am force-stop org.mozilla.firefox").unwrap();
         assert_eq!(d.foreground(), None);
     }
@@ -364,7 +387,10 @@ mod tests {
         let mut d = dev();
         assert!(d.exec("shell:pm clear com.missing").is_err());
         d.install_package("com.android.chrome");
-        assert_eq!(d.exec("shell:pm clear com.android.chrome").unwrap(), b"Success\n");
+        assert_eq!(
+            d.exec("shell:pm clear com.android.chrome").unwrap(),
+            b"Success\n"
+        );
     }
 
     #[test]
@@ -394,7 +420,10 @@ mod tests {
         let clean = d.current_ma(t, 4.0);
         d.with_sim(|s| s.set_usb_connected(true));
         let corrupted = d.current_ma(t, 4.0);
-        assert!(corrupted < clean * 0.2, "USB power must corrupt readings: {corrupted} vs {clean}");
+        assert!(
+            corrupted < clean * 0.2,
+            "USB power must corrupt readings: {corrupted} vs {clean}"
+        );
     }
 
     #[test]
@@ -420,7 +449,8 @@ mod tests {
     #[test]
     fn brightness_setting_applies() {
         let mut d = dev();
-        d.exec("shell:settings put system screen_brightness 80").unwrap();
+        d.exec("shell:settings put system screen_brightness 80")
+            .unwrap();
         assert_eq!(d.with_sim(|s| s.state().brightness), 80);
     }
 
@@ -467,6 +497,9 @@ mod shell_extras_tests {
     fn sdcard_has_the_fig2_video() {
         let mut d = boot_j7_duo(&SimRng::new(58), "sd-dev");
         let out = String::from_utf8(d.exec("shell:ls /sdcard").unwrap()).unwrap();
-        assert!(out.contains("test.mp4"), "the pre-loaded mp4 of §4.1: {out}");
+        assert!(
+            out.contains("test.mp4"),
+            "the pre-loaded mp4 of §4.1: {out}"
+        );
     }
 }

@@ -94,11 +94,15 @@ impl IosDevice {
     pub fn launch_app(&self, bundle_id: &str) -> Result<(), String> {
         let mut inner = self.inner.lock();
         if !inner.apps.iter().any(|a| a == bundle_id) {
-            return Err(format!("FBSOpenApplicationError: {bundle_id} not installed"));
+            return Err(format!(
+                "FBSOpenApplicationError: {bundle_id} not installed"
+            ));
         }
         inner.foreground = Some(bundle_id.to_string());
         inner.sim.set_screen(true);
-        inner.sim.run_activity(SimDuration::from_millis(1100), 0.42, 0.7);
+        inner
+            .sim
+            .run_activity(SimDuration::from_millis(1100), 0.42, 0.7);
         Ok(())
     }
 }

@@ -208,7 +208,10 @@ mod tests {
     fn video_playback_hits_fig2_operating_point() {
         let m = PowerModel::samsung_j7_duo();
         let ma = m.current_ma(&video_state(false), SimTime::ZERO);
-        assert!((150.0..175.0).contains(&ma), "video playback {ma} mA, expected ≈160");
+        assert!(
+            (150.0..175.0).contains(&ma),
+            "video playback {ma} mA, expected ≈160"
+        );
     }
 
     #[test]
@@ -217,8 +220,14 @@ mod tests {
         let plain = m.current_ma(&video_state(false), SimTime::ZERO);
         let mirrored = m.current_ma(&video_state(true), SimTime::ZERO);
         let gap = mirrored - plain;
-        assert!((45.0..80.0).contains(&gap), "mirroring gap {gap} mA, paper shows ≈60");
-        assert!((205.0..240.0).contains(&mirrored), "mirrored total {mirrored}");
+        assert!(
+            (45.0..80.0).contains(&gap),
+            "mirroring gap {gap} mA, paper shows ≈60"
+        );
+        assert!(
+            (205.0..240.0).contains(&mirrored),
+            "mirrored total {mirrored}"
+        );
     }
 
     #[test]
@@ -232,8 +241,10 @@ mod tests {
     #[test]
     fn cpu_cost_is_sublinear_then_full() {
         let m = PowerModel::samsung_j7_duo();
-        let mut s = ComponentState::default();
-        s.cpu_util = 1.0;
+        let mut s = ComponentState {
+            cpu_util: 1.0,
+            ..Default::default()
+        };
         let full = m.current_ma(&s, SimTime::ZERO);
         s.cpu_util = 0.5;
         let half = m.current_ma(&s, SimTime::ZERO);
@@ -257,7 +268,9 @@ mod tests {
         let read = |s: &ComponentState| m.current_ma(s, now);
         s.wifi = RadioState::Idle;
         let idle = read(&s);
-        s.wifi = RadioState::Tail { until: SimTime::from_secs(10) };
+        s.wifi = RadioState::Tail {
+            until: SimTime::from_secs(10),
+        };
         let tail = read(&s);
         s.wifi = RadioState::Active { uplink: false };
         let rx = read(&s);
@@ -269,8 +282,12 @@ mod tests {
     #[test]
     fn expired_tail_reads_as_idle() {
         let m = PowerModel::samsung_j7_duo();
-        let mut s = ComponentState::default();
-        s.wifi = RadioState::Tail { until: SimTime::from_secs(1) };
+        let s = ComponentState {
+            wifi: RadioState::Tail {
+                until: SimTime::from_secs(1),
+            },
+            ..Default::default()
+        };
         let during = m.current_ma(&s, SimTime::from_millis(500));
         let after = m.current_ma(&s, SimTime::from_secs(2));
         assert!(during > after);
@@ -279,8 +296,10 @@ mod tests {
     #[test]
     fn cellular_costs_more_than_wifi() {
         let m = PowerModel::samsung_j7_duo();
-        let mut s = ComponentState::default();
-        s.wifi = RadioState::Active { uplink: false };
+        let mut s = ComponentState {
+            wifi: RadioState::Active { uplink: false },
+            ..Default::default()
+        };
         let wifi = m.current_ma(&s, SimTime::ZERO);
         s.wifi = RadioState::Idle;
         s.cellular = RadioState::Active { uplink: false };
@@ -291,8 +310,10 @@ mod tests {
     #[test]
     fn encoder_cost_scales_with_change_rate() {
         let m = PowerModel::samsung_j7_duo();
-        let mut s = ComponentState::default();
-        s.encoding_change_rate = Some(0.0);
+        let mut s = ComponentState {
+            encoding_change_rate: Some(0.0),
+            ..Default::default()
+        };
         let static_screen = m.current_ma(&s, SimTime::ZERO);
         s.encoding_change_rate = Some(1.0);
         let busy_screen = m.current_ma(&s, SimTime::ZERO);

@@ -366,9 +366,7 @@ impl DeviceSim {
             let next_expiry = [self.state.wifi, self.state.cellular]
                 .iter()
                 .filter_map(|r| match r {
-                    RadioState::Tail { until } if *until > self.now && *until < end => {
-                        Some(*until)
-                    }
+                    RadioState::Tail { until } if *until > self.now && *until < end => Some(*until),
                     _ => None,
                 })
                 .min();
@@ -399,7 +397,10 @@ mod tests {
     use batterylab_stats::Cdf;
 
     fn device(seed: u64) -> DeviceSim {
-        DeviceSim::new(DeviceSpec::samsung_j7_duo(), SimRng::new(seed).derive("device"))
+        DeviceSim::new(
+            DeviceSpec::samsung_j7_duo(),
+            SimRng::new(seed).derive("device"),
+        )
     }
 
     fn sample_trace(sig: &StepSignal, from: SimTime, to: SimTime, hz: f64) -> Vec<f64> {
@@ -449,11 +450,17 @@ mod tests {
         assert!(tr.duration > SimDuration::ZERO);
         // During the transfer the current must exceed the idle level.
         let mid = t0 + tr.duration / 2;
-        assert!(d.current_trace().at(mid) > before + 30.0, "radio active current");
+        assert!(
+            d.current_trace().at(mid) > before + 30.0,
+            "radio active current"
+        );
         // Walk past the tail: current returns near idle.
         d.idle(SimDuration::from_secs(5));
         let after = d.current_trace().last();
-        assert!((after - before).abs() < 20.0, "radio failed to go idle: {after} vs {before}");
+        assert!(
+            (after - before).abs() < 20.0,
+            "radio failed to go idle: {after} vs {before}"
+        );
         assert_eq!(d.net_bytes().0, 2_000_000);
     }
 
@@ -464,9 +471,14 @@ mod tests {
         let tail_start = d.now();
         // Idle long past the WiFi tail (220 ms).
         d.idle(SimDuration::from_secs(3));
-        let during_tail = d.current_trace().at(tail_start + SimDuration::from_millis(100));
+        let during_tail = d
+            .current_trace()
+            .at(tail_start + SimDuration::from_millis(100));
         let after_tail = d.current_trace().at(tail_start + SimDuration::from_secs(1));
-        assert!(during_tail > after_tail, "tail should decay: {during_tail} vs {after_tail}");
+        assert!(
+            during_tail > after_tail,
+            "tail should decay: {during_tail} vs {after_tail}"
+        );
     }
 
     #[test]
@@ -498,7 +510,10 @@ mod tests {
         let m0 = Cdf::from_samples(&plain).median();
         let m1 = Cdf::from_samples(&mirrored).median();
         let delta = m1 - m0;
-        assert!((0.015..0.10).contains(&delta), "mirroring CPU delta {delta}, paper ≈ +5%");
+        assert!(
+            (0.015..0.10).contains(&delta),
+            "mirroring CPU delta {delta}, paper ≈ +5%"
+        );
     }
 
     #[test]
@@ -509,7 +524,10 @@ mod tests {
         d.run_activity(SimDuration::from_secs(120), 0.2, 0.5);
         let samples = sample_trace(d.cpu_trace(), t0, d.now(), 5.0);
         let cdf = Cdf::from_samples(&samples);
-        assert!(cdf.quantile(0.9) > cdf.quantile(0.1) * 1.3, "CDF should have spread");
+        assert!(
+            cdf.quantile(0.9) > cdf.quantile(0.1) * 1.3,
+            "CDF should have spread"
+        );
     }
 
     #[test]

@@ -126,9 +126,12 @@ impl AirPlayMirror {
             return Ok(0);
         }
         let (from, to) = (self.produced_until, until);
-        let change = self.device.with_sim(|s| s.frame_change_trace().mean(from, to));
+        let change = self
+            .device
+            .with_sim(|s| s.frame_change_trace().mean(from, to));
         let utilisation = (0.25 + 0.85 * change).min(1.0);
-        let bytes = (self.config.bitrate_bps * utilisation * (to - from).as_secs_f64() / 8.0) as u64;
+        let bytes =
+            (self.config.bitrate_bps * utilisation * (to - from).as_secs_f64() / 8.0) as u64;
         self.produced_until = until;
         self.total_bytes += bytes;
         Ok(bytes)

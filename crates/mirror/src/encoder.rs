@@ -204,7 +204,10 @@ mod tests {
             s.play_video(SimDuration::from_secs(10));
         });
         let video_bytes = cap.produce_until(d.with_sim(|s| s.now())).unwrap();
-        assert!(video_bytes > static_bytes * 5, "video {video_bytes} vs static {static_bytes}");
+        assert!(
+            video_bytes > static_bytes * 5,
+            "video {video_bytes} vs static {static_bytes}"
+        );
     }
 
     #[test]
@@ -240,7 +243,10 @@ mod tests {
         });
         let bytes = cap.produce_until(d.with_sim(|s| s.now())).unwrap();
         let mb = bytes as f64 / 1e6;
-        assert!((18.0..45.0).contains(&mb), "upload {mb:.1} MB, paper reports ≈32 MB");
+        assert!(
+            (18.0..45.0).contains(&mb),
+            "upload {mb:.1} MB, paper reports ≈32 MB"
+        );
     }
 
     #[test]

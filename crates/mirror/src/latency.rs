@@ -79,10 +79,7 @@ impl LatencyProbe {
 
     /// Probe with an explicit model (ablations).
     pub fn with_model(viewer_path: LinkProfile, model: LatencyModel) -> Self {
-        LatencyProbe {
-            model,
-            viewer_path,
-        }
+        LatencyProbe { model, viewer_path }
     }
 
     /// Execute one trial.
@@ -176,12 +173,16 @@ mod tests {
 
     #[test]
     fn faster_model_reduces_latency() {
-        let mut fast_model = LatencyModel::default();
-        fast_model.app_render_ms = 50.0;
-        fast_model.browser_paint_ms = 50.0;
+        let fast_model = LatencyModel {
+            app_render_ms: 50.0,
+            browser_paint_ms: 50.0,
+            ..Default::default()
+        };
         let mut rng_a = SimRng::new(2).derive("lat");
         let mut rng_b = SimRng::new(2).derive("lat");
-        let default = LatencyProbe::new(colocated_path()).run_trials(20, &mut rng_a).1;
+        let default = LatencyProbe::new(colocated_path())
+            .run_trials(20, &mut rng_a)
+            .1;
         let fast = LatencyProbe::with_model(colocated_path(), fast_model)
             .run_trials(20, &mut rng_b)
             .1;

@@ -19,6 +19,6 @@ pub use encoder::{EncoderConfig, EncoderError, ScrcpyCapture};
 pub use latency::{colocated_path, LatencyModel, LatencyProbe, LatencyTrial};
 pub use session::{MirrorSession, SessionError};
 pub use vnc::{
-    framebuffer_update, websocket_wrap, RfbSecurity, VncError, VncServer, ViewerId,
+    framebuffer_update, websocket_wrap, RfbSecurity, ViewerId, VncError, VncServer,
     NOVNC_COMPRESSION, RFB_VERSION,
 };

@@ -4,9 +4,10 @@
 
 use batterylab_device::AndroidDevice;
 use batterylab_sim::SimTime;
+use batterylab_telemetry::{Counter, Histogram, Registry};
 
 use crate::encoder::{EncoderConfig, EncoderError, ScrcpyCapture};
-use crate::vnc::{VncError, VncServer, ViewerId, RFB_VERSION};
+use crate::vnc::{ViewerId, VncError, VncServer, RFB_VERSION};
 
 /// Errors from session orchestration.
 #[derive(Clone, Debug, PartialEq)]
@@ -40,6 +41,33 @@ impl std::fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+/// Pre-resolved telemetry handles (`mirror.*` metrics).
+struct MirrorTelemetry {
+    registry: Registry,
+    sessions_started: Counter,
+    sessions_stopped: Counter,
+    viewers_attached: Counter,
+    auth_failures: Counter,
+    encoded_bytes: Counter,
+    upload_bytes: Counter,
+    pump_bytes: Histogram,
+}
+
+impl MirrorTelemetry {
+    fn bind(registry: &Registry) -> Self {
+        MirrorTelemetry {
+            sessions_started: registry.counter("mirror.sessions_started"),
+            sessions_stopped: registry.counter("mirror.sessions_stopped"),
+            viewers_attached: registry.counter("mirror.viewers_attached"),
+            auth_failures: registry.counter("mirror.auth_failures"),
+            encoded_bytes: registry.counter("mirror.encoded_bytes"),
+            upload_bytes: registry.counter("mirror.upload_bytes"),
+            pump_bytes: registry.histogram("mirror.pump_bytes"),
+            registry: registry.clone(),
+        }
+    }
+}
+
 /// A full mirroring session for one device.
 pub struct MirrorSession {
     capture: ScrcpyCapture,
@@ -48,6 +76,7 @@ pub struct MirrorSession {
     /// Wire bytes pushed to viewers (the vantage point's upload traffic).
     uploaded: u64,
     started_at: Option<SimTime>,
+    telemetry: MirrorTelemetry,
 }
 
 impl MirrorSession {
@@ -60,13 +89,31 @@ impl MirrorSession {
             device,
             uploaded: 0,
             started_at: None,
+            telemetry: MirrorTelemetry::bind(&Registry::new()),
         }
+    }
+
+    /// Rebind telemetry to a shared registry (`mirror.*` metrics).
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.set_telemetry(registry);
+        self
+    }
+
+    /// In-place variant of [`Self::with_telemetry`].
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = MirrorTelemetry::bind(registry);
     }
 
     /// Start capturing (arms the device-side encoder).
     pub fn start(&mut self) -> Result<(), SessionError> {
         self.capture.start()?;
-        self.started_at = Some(self.device.with_sim(|s| s.now()));
+        let now = self.device.with_sim(|s| s.now());
+        self.started_at = Some(now);
+        self.telemetry.sessions_started.inc();
+        self.telemetry.registry.clock().advance_to(now.as_micros());
+        self.telemetry
+            .registry
+            .event("mirror.session_started", self.device.serial());
         Ok(())
     }
 
@@ -74,6 +121,10 @@ impl MirrorSession {
     pub fn stop(&mut self) -> Result<u64, SessionError> {
         let total = self.capture.stop()?;
         self.started_at = None;
+        self.telemetry.sessions_stopped.inc();
+        self.telemetry
+            .registry
+            .event("mirror.session_stopped", self.device.serial());
         Ok(total)
     }
 
@@ -84,7 +135,18 @@ impl MirrorSession {
 
     /// Connect a viewer (noVNC browser tab).
     pub fn attach_viewer(&mut self, password: &str) -> Result<ViewerId, SessionError> {
-        Ok(self.vnc.handshake(RFB_VERSION, password)?)
+        match self.vnc.handshake(RFB_VERSION, password) {
+            Ok(id) => {
+                self.telemetry.viewers_attached.inc();
+                Ok(id)
+            }
+            Err(e) => {
+                if matches!(e, VncError::AuthFailed) {
+                    self.telemetry.auth_failures.inc();
+                }
+                Err(e.into())
+            }
+        }
     }
 
     /// Disconnect a viewer.
@@ -103,12 +165,17 @@ impl MirrorSession {
     pub fn pump(&mut self) -> Result<u64, SessionError> {
         let now = self.device.with_sim(|s| s.now());
         let produced = self.capture.produce_until(now)?;
+        self.telemetry.registry.clock().advance_to(now.as_micros());
+        self.telemetry.encoded_bytes.add(produced);
+        self.telemetry.pump_bytes.record(produced);
         if produced > 0 && self.vnc.viewer_count() > 0 {
             let before = self.vnc.bytes_sent();
             // One frame batch per pump; VNC framing + noVNC compression.
             let chunk = vec![0u8; (produced as usize).min(16 * 1024 * 1024)];
             self.vnc.send_frame(&chunk)?;
-            self.uploaded += self.vnc.bytes_sent() - before;
+            let wire = self.vnc.bytes_sent() - before;
+            self.uploaded += wire;
+            self.telemetry.upload_bytes.add(wire);
         }
         Ok(produced)
     }
@@ -198,6 +265,35 @@ mod tests {
         assert!(busy > idle + 0.3);
         assert!(busy <= 1.0);
         assert!(MirrorSession::controller_load(5.0) <= 1.0);
+    }
+
+    #[test]
+    fn telemetry_accounts_for_the_stream() {
+        let registry = Registry::new();
+        let d = boot_j7_duo(&SimRng::new(4), "mirror-tel");
+        let mut s = MirrorSession::new(d.clone(), EncoderConfig::default(), "blab")
+            .with_telemetry(&registry);
+        s.start().unwrap();
+        s.attach_viewer("blab").unwrap();
+        assert!(s.attach_viewer("wrong").is_err());
+        d.with_sim(|sim| {
+            sim.set_screen(true);
+            sim.play_video(SimDuration::from_secs(10));
+        });
+        s.pump().unwrap();
+        s.stop().unwrap();
+        let report = registry.snapshot();
+        assert_eq!(report.counter("mirror.sessions_started"), 1);
+        assert_eq!(report.counter("mirror.sessions_stopped"), 1);
+        assert_eq!(report.counter("mirror.viewers_attached"), 1);
+        assert_eq!(report.counter("mirror.auth_failures"), 1);
+        assert!(report.counter("mirror.encoded_bytes") > 0);
+        assert!(report.counter("mirror.upload_bytes") > 0);
+        assert_eq!(report.counter("mirror.upload_bytes"), s.uploaded_bytes());
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.label == "mirror.session_started"));
     }
 
     #[test]

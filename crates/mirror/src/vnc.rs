@@ -81,7 +81,11 @@ impl VncServer {
     }
 
     /// Run the RFB handshake for a connecting viewer.
-    pub fn handshake(&mut self, client_version: &[u8], password: &str) -> Result<ViewerId, VncError> {
+    pub fn handshake(
+        &mut self,
+        client_version: &[u8],
+        password: &str,
+    ) -> Result<ViewerId, VncError> {
         if client_version != RFB_VERSION {
             return Err(VncError::BadVersion(
                 String::from_utf8_lossy(client_version).into_owned(),

@@ -109,9 +109,17 @@ mod tests {
 
     #[test]
     fn other_regions_near_baseline() {
-        for &loc in &[VpnLocation::SouthAfrica, VpnLocation::China, VpnLocation::Brazil, VpnLocation::California] {
+        for &loc in &[
+            VpnLocation::SouthAfrica,
+            VpnLocation::China,
+            VpnLocation::Brazil,
+            VpnLocation::California,
+        ] {
             let c = RegionalContent::for_region(Region::Vpn(loc));
-            assert!((c.ad_size_factor - 1.0).abs() < 0.1, "{loc} should be near UK baseline");
+            assert!(
+                (c.ad_size_factor - 1.0).abs() < 0.1,
+                "{loc} should be near UK baseline"
+            );
         }
     }
 

@@ -23,7 +23,10 @@ pub struct LinkProfile {
 impl LinkProfile {
     /// Construct a profile, validating ranges.
     pub fn new(down_mbps: f64, up_mbps: f64, rtt_ms: f64, loss: f64) -> Self {
-        assert!(down_mbps > 0.0 && up_mbps > 0.0, "bandwidth must be positive");
+        assert!(
+            down_mbps > 0.0 && up_mbps > 0.0,
+            "bandwidth must be positive"
+        );
         assert!(rtt_ms >= 0.0, "rtt must be non-negative");
         assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
         LinkProfile {

@@ -113,9 +113,17 @@ mod tests {
         let client = SpeedtestClient::new(path);
         let mut rng = SimRng::new(1).derive("st");
         let r = client.run("Test City", 5.0, &mut rng);
-        assert!((r.down_mbps - 10.0).abs() / 10.0 < 0.2, "down {}", r.down_mbps);
+        assert!(
+            (r.down_mbps - 10.0).abs() / 10.0 < 0.2,
+            "down {}",
+            r.down_mbps
+        );
         assert!((r.up_mbps - 8.0).abs() / 8.0 < 0.2, "up {}", r.up_mbps);
-        assert!(r.latency_ms >= 220.0 && r.latency_ms < 232.0, "lat {}", r.latency_ms);
+        assert!(
+            r.latency_ms >= 220.0 && r.latency_ms < 232.0,
+            "lat {}",
+            r.latency_ms
+        );
     }
 
     #[test]
@@ -129,10 +137,17 @@ mod tests {
         }
         let ca = &rows[4];
         assert_eq!(ca.0, VpnLocation::California);
-        assert!(ca.1.up_mbps > rows[0].1.up_mbps, "CA has the fastest upload");
+        assert!(
+            ca.1.up_mbps > rows[0].1.up_mbps,
+            "CA has the fastest upload"
+        );
         // All latencies in the 210–300 ms band of Table 2.
         for (_, r) in &rows {
-            assert!(r.latency_ms > 205.0 && r.latency_ms < 300.0, "lat {}", r.latency_ms);
+            assert!(
+                r.latency_ms > 205.0 && r.latency_ms < 300.0,
+                "lat {}",
+                r.latency_ms
+            );
         }
         // China has the highest latency.
         let max_lat = rows

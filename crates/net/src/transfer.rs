@@ -164,7 +164,10 @@ mod tests {
         let ideal_s = 100_000_000.0 * 8.0 / (100.0 * 1e6);
         let got_s = big.duration.as_secs_f64();
         assert!(got_s >= ideal_s);
-        assert!(got_s < ideal_s * 1.15, "slow start overhead too large: {got_s} vs {ideal_s}");
+        assert!(
+            got_s < ideal_s * 1.15,
+            "slow start overhead too large: {got_s} vs {ideal_s}"
+        );
         assert!(big.goodput_mbps > 85.0);
     }
 

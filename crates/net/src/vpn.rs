@@ -244,7 +244,10 @@ mod tests {
         c.connect(VpnLocation::SouthAfrica).unwrap();
         let tunnelled = c.effective_path();
         assert!(tunnelled.rtt_ms > 220.0);
-        assert!(tunnelled.down_mbps < 6.26, "tunnel bottleneck plus overhead");
+        assert!(
+            tunnelled.down_mbps < 6.26,
+            "tunnel bottleneck plus overhead"
+        );
         assert!(tunnelled.down_mbps > 5.5);
     }
 
@@ -260,6 +263,9 @@ mod tests {
     #[test]
     fn display_labels_match_table2() {
         assert_eq!(VpnLocation::California.to_string(), "CA, USA");
-        assert_eq!(VpnLocation::SouthAfrica.speedtest_server().0, "Johannesburg");
+        assert_eq!(
+            VpnLocation::SouthAfrica.speedtest_server().0,
+            "Johannesburg"
+        );
     }
 }

@@ -115,7 +115,12 @@ impl BattOr {
     /// Log `load` from `start` for `duration_s`. Unlike the Monsoon this
     /// never fails outright: a dead logger battery or full flash
     /// truncates the log, as in the field.
-    pub fn log_run(&mut self, load: &dyn CurrentSource, start: SimTime, duration_s: f64) -> BattOrLog {
+    pub fn log_run(
+        &mut self,
+        load: &dyn CurrentSource,
+        start: SimTime,
+        duration_s: f64,
+    ) -> BattOrLog {
         assert!(duration_s > 0.0);
         let requested = (duration_s * BATTOR_RATE_HZ).round() as u64;
         let period_us = (1e6 / BATTOR_RATE_HZ) as u64;
@@ -197,7 +202,10 @@ mod tests {
         let mut b = battor(4);
         b.buffer_left = 500;
         let log = b.log_run(&ConstantLoad::new(100.0, 3.85), SimTime::ZERO, 10.0);
-        assert!(matches!(log.truncated, Some(BattOrError::BufferFull { captured: 500 })));
+        assert!(matches!(
+            log.truncated,
+            Some(BattOrError::BufferFull { captured: 500 })
+        ));
         assert_eq!(log.samples.len(), 500);
     }
 
@@ -218,19 +226,16 @@ mod tests {
         // with no mains, no relay, no bypass.
         use batterylab_sim::SimDuration;
         let rng = SimRng::new(6);
-        let device = {
-            // A device on cellular doing a transfer mid-walk.
-            let d = crate::source::TraceLoad::new(
-                {
-                    let mut sig = batterylab_sim::StepSignal::new(180.0);
-                    sig.set(SimTime::from_secs(10), 420.0); // cellular burst
-                    sig.set(SimTime::from_secs(30), 190.0);
-                    sig
-                },
-                4.0,
-            );
-            d
-        };
+        // A device on cellular doing a transfer mid-walk.
+        let device = crate::source::TraceLoad::new(
+            {
+                let mut sig = batterylab_sim::StepSignal::new(180.0);
+                sig.set(SimTime::from_secs(10), 420.0); // cellular burst
+                sig.set(SimTime::from_secs(30), 190.0);
+                sig
+            },
+            4.0,
+        );
         let _ = SimDuration::ZERO;
         let mut b = BattOr::new(rng.derive("battor"));
         let log = b.log_run(&device, SimTime::ZERO, 60.0);

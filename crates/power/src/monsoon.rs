@@ -13,6 +13,7 @@
 
 use batterylab_sim::{SimRng, SimTime, TimeSeries};
 use batterylab_stats::EnergyAccumulator;
+use batterylab_telemetry::{Counter, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 
 use crate::source::CurrentSource;
@@ -96,6 +97,31 @@ impl Default for Calibration {
     }
 }
 
+/// Pre-resolved telemetry handles. Bound once at construction so the
+/// 5 kHz sampling loop never touches the registry lock — each sample
+/// costs two relaxed atomic RMWs on top of the physics.
+struct MonsoonTelemetry {
+    registry: Registry,
+    samples: Counter,
+    runs: Counter,
+    overcurrent_trips: Counter,
+    sample_ua: Histogram,
+    run_us: Histogram,
+}
+
+impl MonsoonTelemetry {
+    fn bind(registry: &Registry) -> Self {
+        MonsoonTelemetry {
+            samples: registry.counter("power.samples"),
+            runs: registry.counter("power.sample_runs"),
+            overcurrent_trips: registry.counter("power.overcurrent_trips"),
+            sample_ua: registry.histogram("power.sample_ua"),
+            run_us: registry.histogram("power.run_us"),
+            registry: registry.clone(),
+        }
+    }
+}
+
 /// The simulated instrument.
 pub struct Monsoon {
     powered: bool,
@@ -104,6 +130,7 @@ pub struct Monsoon {
     calibration: Calibration,
     rng: SimRng,
     total_samples: u64,
+    telemetry: MonsoonTelemetry,
 }
 
 impl Monsoon {
@@ -117,6 +144,7 @@ impl Monsoon {
             calibration: Calibration::default(),
             rng,
             total_samples: 0,
+            telemetry: MonsoonTelemetry::bind(&Registry::new()),
         }
     }
 
@@ -124,6 +152,17 @@ impl Monsoon {
     pub fn with_calibration(mut self, cal: Calibration) -> Self {
         self.calibration = cal;
         self
+    }
+
+    /// Rebind telemetry to a shared registry (`power.*` metrics).
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.set_telemetry(registry);
+        self
+    }
+
+    /// In-place variant of [`Self::with_telemetry`].
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = MonsoonTelemetry::bind(registry);
     }
 
     /// Mains power state.
@@ -185,6 +224,11 @@ impl Monsoon {
     fn read_once(&mut self, load: &dyn CurrentSource, t: SimTime) -> Result<f64, MonsoonError> {
         let true_ma = load.current_ma(t, self.voltage_v);
         if true_ma > MAX_CONTINUOUS_MA {
+            self.telemetry.overcurrent_trips.inc();
+            self.telemetry.registry.event(
+                "power.overcurrent",
+                format!("{current:.0} mA at {t}", current = true_ma),
+            );
             return Err(MonsoonError::OverCurrent {
                 at: t,
                 current_ma: true_ma,
@@ -229,7 +273,10 @@ impl Monsoon {
             return Err(MonsoonError::OutputDisabled);
         }
         assert!(duration_s > 0.0, "sampling duration must be positive");
-        assert!(rate_hz > 0.0 && rate_hz <= MONSOON_RATE_HZ, "rate 0..=5000 Hz");
+        assert!(
+            rate_hz > 0.0 && rate_hz <= MONSOON_RATE_HZ,
+            "rate 0..=5000 Hz"
+        );
         let n = (duration_s * rate_hz).round() as u64;
         let period_us = (1e6 / rate_hz).round() as u64;
         let mut samples = TimeSeries::with_capacity(n as usize);
@@ -240,7 +287,17 @@ impl Monsoon {
             samples.push(t, ma);
             energy.push(ma, self.voltage_v);
             self.total_samples += 1;
+            self.telemetry.samples.inc();
+            self.telemetry
+                .sample_ua
+                .record((ma * 1000.0).round() as u64);
         }
+        self.telemetry.runs.inc();
+        self.telemetry.run_us.record(n * period_us);
+        self.telemetry
+            .registry
+            .clock()
+            .advance_to(start.as_micros() + n * period_us);
         Ok(SampleRun {
             samples,
             energy,
@@ -269,9 +326,7 @@ mod tests {
         assert_eq!(m.set_voltage(4.0), Err(MonsoonError::PoweredOff));
         m.set_powered(true);
         m.set_voltage(4.0).unwrap();
-        let err = m
-            .sample_run(&OpenCircuit, SimTime::ZERO, 0.01)
-            .unwrap_err();
+        let err = m.sample_run(&OpenCircuit, SimTime::ZERO, 0.01).unwrap_err();
         assert_eq!(err, MonsoonError::OutputDisabled);
         m.enable_vout().unwrap();
         assert!(m.sample_run(&OpenCircuit, SimTime::ZERO, 0.01).is_ok());
@@ -281,8 +336,14 @@ mod tests {
     fn voltage_range_enforced() {
         let mut m = Monsoon::new(SimRng::new(1).derive("monsoon"));
         m.set_powered(true);
-        assert!(matches!(m.set_voltage(0.5), Err(MonsoonError::VoltageOutOfRange(_))));
-        assert!(matches!(m.set_voltage(14.0), Err(MonsoonError::VoltageOutOfRange(_))));
+        assert!(matches!(
+            m.set_voltage(0.5),
+            Err(MonsoonError::VoltageOutOfRange(_))
+        ));
+        assert!(matches!(
+            m.set_voltage(14.0),
+            Err(MonsoonError::VoltageOutOfRange(_))
+        ));
         assert!(m.set_voltage(0.8).is_ok());
         assert!(m.set_voltage(13.5).is_ok());
     }
@@ -290,7 +351,9 @@ mod tests {
     #[test]
     fn five_khz_sample_count() {
         let mut m = powered_monsoon(2);
-        let run = m.sample_run(&ConstantLoad::new(100.0, 4.0), SimTime::ZERO, 1.0).unwrap();
+        let run = m
+            .sample_run(&ConstantLoad::new(100.0, 4.0), SimTime::ZERO, 1.0)
+            .unwrap();
         assert_eq!(run.samples.len(), 5000);
         assert_eq!(run.energy.samples(), 5000);
     }
@@ -298,7 +361,9 @@ mod tests {
     #[test]
     fn reading_accuracy_within_spec() {
         let mut m = powered_monsoon(3);
-        let run = m.sample_run(&ConstantLoad::new(160.0, 4.0), SimTime::ZERO, 2.0).unwrap();
+        let run = m
+            .sample_run(&ConstantLoad::new(160.0, 4.0), SimTime::ZERO, 2.0)
+            .unwrap();
         let s = Summary::of(run.samples.values());
         // Gain 1.0005 + offset 0.03 on 160 mA → ~160.11; noise averages out.
         assert!((s.mean - 160.0).abs() < 0.5, "mean {}", s.mean);
@@ -308,7 +373,9 @@ mod tests {
     #[test]
     fn energy_integration_matches_mean() {
         let mut m = powered_monsoon(4);
-        let run = m.sample_run(&ConstantLoad::new(300.0, 4.0), SimTime::ZERO, 1.0).unwrap();
+        let run = m
+            .sample_run(&ConstantLoad::new(300.0, 4.0), SimTime::ZERO, 1.0)
+            .unwrap();
         // 300 mA for 1 s = 300/3600 mAh.
         assert!((run.energy.mah() - 300.0 / 3600.0).abs() < 0.001);
     }
@@ -357,11 +424,39 @@ mod tests {
     #[test]
     fn readings_quantised_to_lsb() {
         let mut m = powered_monsoon(9);
-        let run = m.sample_run(&ConstantLoad::new(100.0, 4.0), SimTime::ZERO, 0.01).unwrap();
+        let run = m
+            .sample_run(&ConstantLoad::new(100.0, 4.0), SimTime::ZERO, 0.01)
+            .unwrap();
         for &v in run.samples.values() {
             let steps = v / 0.02;
             assert!((steps - steps.round()).abs() < 1e-6, "not quantised: {v}");
         }
+    }
+
+    #[test]
+    fn telemetry_counts_samples_and_trips() {
+        let registry = Registry::new();
+        let mut m = Monsoon::new(SimRng::new(11).derive("monsoon")).with_telemetry(&registry);
+        m.set_powered(true);
+        m.set_voltage(4.0).unwrap();
+        m.enable_vout().unwrap();
+        m.sample_run(&ConstantLoad::new(100.0, 4.0), SimTime::ZERO, 0.1)
+            .unwrap();
+        let _ = m.sample_run(&ConstantLoad::new(7000.0, 4.0), SimTime::ZERO, 0.1);
+        let report = registry.snapshot();
+        assert_eq!(report.counter("power.samples"), 500);
+        assert_eq!(report.counter("power.sample_runs"), 1);
+        assert_eq!(report.counter("power.overcurrent_trips"), 1);
+        let h = report.histogram("power.sample_ua").unwrap();
+        assert_eq!(h.count, 500);
+        assert!(
+            h.mean() > 90_000.0 && h.mean() < 110_000.0,
+            "mean {}",
+            h.mean()
+        );
+        // The run advanced the shared virtual clock to its end.
+        assert_eq!(report.at_micros, 100_000);
+        assert!(report.events.iter().any(|e| e.label == "power.overcurrent"));
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl PowerSocket {
             self.fail_next -= 1;
             return Err(SocketError::Unreachable);
         }
-        let target = if on { SocketState::On } else { SocketState::Off };
+        let target = if on {
+            SocketState::On
+        } else {
+            SocketState::Off
+        };
         if self.state != target {
             self.state = target;
             self.toggles += 1;
@@ -149,7 +153,10 @@ mod tests {
     fn unreachable_fault_then_recovery() {
         let mut s = PowerSocket::new();
         s.inject_unreachable(2);
-        assert_eq!(s.togglex(SimTime::ZERO, true), Err(SocketError::Unreachable));
+        assert_eq!(
+            s.togglex(SimTime::ZERO, true),
+            Err(SocketError::Unreachable)
+        );
         assert_eq!(s.query(), Err(SocketError::Unreachable));
         // Third attempt succeeds — retry loops in the controller rely on this.
         assert_eq!(s.togglex(SimTime::ZERO, true), Ok(SocketState::On));

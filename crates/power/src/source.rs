@@ -112,6 +112,9 @@ mod tests {
     fn sampling_is_pure() {
         let load = ConstantLoad::new(42.0, 4.0);
         let t = SimTime::from_millis(123);
-        assert_eq!(load.current_ma(t, 4.0).to_bits(), load.current_ma(t, 4.0).to_bits());
+        assert_eq!(
+            load.current_ma(t, 4.0).to_bits(),
+            load.current_ma(t, 4.0).to_bits()
+        );
     }
 }

@@ -135,8 +135,10 @@ mod tests {
 
     fn board() -> RelayBoard {
         let sw = CircuitSwitch::new(2);
-        sw.attach(0, Arc::new(ConstantLoad::new(100.0, 4.0))).unwrap();
-        sw.attach(1, Arc::new(ConstantLoad::new(200.0, 4.0))).unwrap();
+        sw.attach(0, Arc::new(ConstantLoad::new(100.0, 4.0)))
+            .unwrap();
+        sw.attach(1, Arc::new(ConstantLoad::new(200.0, 4.0)))
+            .unwrap();
         RelayBoard::new(sw, vec![17, 27]).unwrap()
     }
 
@@ -156,7 +158,10 @@ mod tests {
         let mut b = board();
         b.bypass(0, SimTime::ZERO).unwrap();
         let err = b.bypass(1, SimTime::ZERO).unwrap_err();
-        assert!(matches!(err, BoardError::Switch(SwitchError::BypassBusy { held_by: 0 })));
+        assert!(matches!(
+            err,
+            BoardError::Switch(SwitchError::BypassBusy { held_by: 0 })
+        ));
         assert_eq!(b.gpio().read(27).unwrap(), Level::Low);
     }
 

@@ -200,7 +200,10 @@ mod tests {
     #[test]
     fn out_of_range_pin() {
         let mut g = GpioBank::new();
-        assert_eq!(g.configure(99, PinMode::Output), Err(GpioError::NoSuchPin(99)));
+        assert_eq!(
+            g.configure(99, PinMode::Output),
+            Err(GpioError::NoSuchPin(99))
+        );
         assert_eq!(g.read(28).unwrap_err(), GpioError::NoSuchPin(28));
     }
 

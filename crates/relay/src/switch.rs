@@ -15,6 +15,7 @@
 use std::sync::Arc;
 
 use batterylab_sim::SimTime;
+use batterylab_telemetry::{Counter, Gauge, Registry};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
@@ -65,10 +66,34 @@ struct Channel {
     last_switch: Option<SimTime>,
 }
 
+/// Pre-resolved telemetry handles (`relay.*` metrics). Switching is a
+/// per-measurement operation, not a hot loop, so these live behind the
+/// same lock as the channel state.
+struct RelayTelemetry {
+    registry: Registry,
+    bypass_engaged: Counter,
+    bypass_released: Counter,
+    actuations: Counter,
+    bypass_active: Gauge,
+}
+
+impl RelayTelemetry {
+    fn bind(registry: &Registry) -> Self {
+        RelayTelemetry {
+            bypass_engaged: registry.counter("relay.bypass_engaged"),
+            bypass_released: registry.counter("relay.bypass_released"),
+            actuations: registry.counter("relay.actuations"),
+            bypass_active: registry.gauge("relay.bypass_active"),
+            registry: registry.clone(),
+        }
+    }
+}
+
 struct Inner {
     channels: Vec<Channel>,
     /// Series resistance each relay contact adds, ohms.
     contact_ohms: f64,
+    telemetry: RelayTelemetry,
 }
 
 /// A multi-channel relay circuit between test devices and the Monsoon.
@@ -94,8 +119,20 @@ impl CircuitSwitch {
                     })
                     .collect(),
                 contact_ohms: 0.05,
+                telemetry: RelayTelemetry::bind(&Registry::new()),
             }),
         })
+    }
+
+    /// Rebind telemetry to a shared registry (`relay.*` metrics).
+    pub fn with_telemetry(self: Arc<Self>, registry: &Registry) -> Arc<Self> {
+        self.set_telemetry(registry);
+        self
+    }
+
+    /// In-place variant of [`Self::with_telemetry`].
+    pub fn set_telemetry(&self, registry: &Registry) {
+        self.inner.write().telemetry = RelayTelemetry::bind(registry);
     }
 
     /// Number of channels.
@@ -125,7 +162,11 @@ impl CircuitSwitch {
             .get_mut(channel)
             .ok_or(SwitchError::NoSuchChannel(channel))?;
         ch.load = None;
+        let was_bypassed = ch.route == ChannelRoute::Bypass;
         ch.route = ChannelRoute::Battery;
+        if was_bypassed {
+            inner.telemetry.bypass_active.set(0);
+        }
         Ok(())
     }
 
@@ -174,6 +215,16 @@ impl CircuitSwitch {
         ch.route = ChannelRoute::Bypass;
         ch.switches += 1;
         ch.last_switch = Some(now);
+        let t = &inner.telemetry;
+        t.registry.clock().advance_to(now.as_micros());
+        t.bypass_engaged.inc();
+        t.actuations.inc();
+        t.bypass_active.set(1);
+        t.registry.journal().push(
+            now.as_micros(),
+            "relay.bypass_engaged",
+            format!("ch{channel}"),
+        );
         Ok(())
     }
 
@@ -188,6 +239,16 @@ impl CircuitSwitch {
             ch.route = ChannelRoute::Battery;
             ch.switches += 1;
             ch.last_switch = Some(now);
+            let t = &inner.telemetry;
+            t.registry.clock().advance_to(now.as_micros());
+            t.bypass_released.inc();
+            t.actuations.inc();
+            t.bypass_active.set(0);
+            t.registry.journal().push(
+                now.as_micros(),
+                "relay.bypass_released",
+                format!("ch{channel}"),
+            );
         }
         Ok(())
     }
@@ -328,6 +389,24 @@ mod tests {
         sw.detach(0).unwrap();
         assert_eq!(sw.bypass_holder(), None);
         assert_eq!(sw.meter_side().current_ma(SimTime::ZERO, 4.0), 0.0);
+    }
+
+    #[test]
+    fn telemetry_tracks_switching() {
+        let registry = Registry::new();
+        let sw = CircuitSwitch::new(2).with_telemetry(&registry);
+        sw.attach(0, load(100.0)).unwrap();
+        sw.engage_bypass(0, SimTime::from_secs(1)).unwrap();
+        assert_eq!(registry.snapshot().gauges["relay.bypass_active"], 1);
+        sw.release_bypass(0, SimTime::from_secs(2)).unwrap();
+        let report = registry.snapshot();
+        assert_eq!(report.counter("relay.bypass_engaged"), 1);
+        assert_eq!(report.counter("relay.bypass_released"), 1);
+        assert_eq!(report.counter("relay.actuations"), 2);
+        assert_eq!(report.gauges["relay.bypass_active"], 0);
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.events[0].at_micros, 1_000_000);
+        assert_eq!(report.events[0].detail, "ch0");
     }
 
     #[test]

@@ -92,6 +92,15 @@ impl AccessServer {
         }
     }
 
+    /// Rebind the scheduler and every enrolled node to a shared registry,
+    /// so one snapshot covers the whole deployment.
+    pub fn set_telemetry(&mut self, registry: &batterylab_telemetry::Registry) {
+        self.scheduler.set_telemetry(registry);
+        for node in self.nodes.values_mut() {
+            node.set_telemetry(registry);
+        }
+    }
+
     /// Turn on the §5 credit system. Existing users get the welcome
     /// grant lazily on first use.
     pub fn enable_billing(&mut self) {
@@ -126,7 +135,12 @@ impl AccessServer {
     }
 
     /// Log in to the console.
-    pub fn login(&mut self, user: &str, password: &str, https: bool) -> Result<Session, ServerError> {
+    pub fn login(
+        &mut self,
+        user: &str,
+        password: &str,
+        https: bool,
+    ) -> Result<Session, ServerError> {
         Ok(self.auth.login(user, password, https)?)
     }
 
@@ -327,7 +341,9 @@ mod tests {
     #[test]
     fn experimenter_end_to_end() {
         let (mut server, admin) = server_with_node();
-        server.add_user(admin, "alice", "pw-a", Role::Experimenter).unwrap();
+        server
+            .add_user(admin, "alice", "pw-a", Role::Experimenter)
+            .unwrap();
         let alice = server.login("alice", "pw-a", true).unwrap().token;
         let id = server
             .submit_job(
@@ -343,17 +359,28 @@ mod tests {
         assert_eq!(server.tick(), Some(id));
         let build = server.build(alice, id).unwrap();
         assert_eq!(build.owner, "alice");
-        assert!(build.summary.as_ref().unwrap()["discharge_mah"].as_f64().unwrap() > 0.0);
+        assert!(
+            build.summary.as_ref().unwrap()["discharge_mah"]
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
     }
 
     #[test]
     fn testers_cannot_submit_or_read() {
         let (mut server, admin) = server_with_node();
-        server.add_user(admin, "turk", "pw-t", Role::Tester).unwrap();
+        server
+            .add_user(admin, "turk", "pw-t", Role::Tester)
+            .unwrap();
         let turk = server.login("turk", "pw-t", true).unwrap().token;
         assert!(matches!(
-            server.submit_job(turk, "x", Constraints::default(),
-                Payload::Custom(Box::new(|_| Err("never".into())))),
+            server.submit_job(
+                turk,
+                "x",
+                Constraints::default(),
+                Payload::Custom(Box::new(|_| Err("never".into())))
+            ),
             Err(ServerError::Auth(AuthError::Forbidden { .. }))
         ));
         assert!(matches!(
@@ -365,7 +392,9 @@ mod tests {
     #[test]
     fn only_admin_enrolls_nodes() {
         let (mut server, admin) = server_with_node();
-        server.add_user(admin, "alice", "pw-a", Role::Experimenter).unwrap();
+        server
+            .add_user(admin, "alice", "pw-a", Role::Experimenter)
+            .unwrap();
         let alice = server.login("alice", "pw-a", true).unwrap().token;
         let rng = SimRng::new(62);
         let vp2 = VantagePoint::new(
@@ -411,21 +440,44 @@ mod slot_tests {
         d.install_package("com.brave.browser");
         vp.add_device(d);
         server
-            .enroll_node(admin, vp, "1.2.3.4", "hk", &[2222, 8080, 6081], SimTime::ZERO)
+            .enroll_node(
+                admin,
+                vp,
+                "1.2.3.4",
+                "hk",
+                &[2222, 8080, 6081],
+                SimTime::ZERO,
+            )
             .unwrap();
-        server.add_user(admin, "alice", "a", Role::Experimenter).unwrap();
-        server.add_user(admin, "bob", "b", Role::Experimenter).unwrap();
+        server
+            .add_user(admin, "alice", "a", Role::Experimenter)
+            .unwrap();
+        server
+            .add_user(admin, "bob", "b", Role::Experimenter)
+            .unwrap();
         let alice = server.login("alice", "a", true).unwrap().token;
         let bob = server.login("bob", "b", true).unwrap().token;
 
         // Alice reserves the device's near future on its virtual clock.
         server
-            .reserve_slot(alice, "node1", "slot-dev", SimTime::ZERO, SimTime::from_secs(3600))
+            .reserve_slot(
+                alice,
+                "node1",
+                "slot-dev",
+                SimTime::ZERO,
+                SimTime::from_secs(3600),
+            )
             .unwrap();
         assert_eq!(server.device_schedule("node1", "slot-dev").len(), 1);
         // Bob cannot double-book.
         assert!(server
-            .reserve_slot(bob, "node1", "slot-dev", SimTime::from_secs(10), SimTime::from_secs(20))
+            .reserve_slot(
+                bob,
+                "node1",
+                "slot-dev",
+                SimTime::from_secs(10),
+                SimTime::from_secs(20)
+            )
             .is_err());
 
         // Bob's job stays queued during Alice's slot...
@@ -458,7 +510,10 @@ mod slot_tests {
 
         // After the slot ends (device clock has advanced past it or the
         // reservation is released), Bob's job dispatches.
-        server.scheduler.slots_mut().release_all("node1", "slot-dev", "alice");
+        server
+            .scheduler
+            .slots_mut()
+            .release_all("node1", "slot-dev", "alice");
         assert_eq!(server.tick(), Some(bob_job));
     }
 }

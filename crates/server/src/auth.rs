@@ -157,10 +157,7 @@ impl AuthService {
         if !https {
             return Err(AuthError::HttpsRequired);
         }
-        let account = self
-            .accounts
-            .get(name)
-            .ok_or(AuthError::BadCredentials)?;
+        let account = self.accounts.get(name).ok_or(AuthError::BadCredentials)?;
         if account.password_hash != hash_password(password) {
             return Err(AuthError::BadCredentials);
         }
@@ -219,7 +216,10 @@ mod tests {
         assert!(allows(Role::Admin, Permission::ApprovePipelineChange));
         assert!(allows(Role::Admin, Permission::ManageNodes));
         assert!(allows(Role::Experimenter, Permission::CreateJob));
-        assert!(!allows(Role::Experimenter, Permission::ApprovePipelineChange));
+        assert!(!allows(
+            Role::Experimenter,
+            Permission::ApprovePipelineChange
+        ));
         assert!(!allows(Role::Experimenter, Permission::ManageNodes));
         assert!(allows(Role::Tester, Permission::UseMirror));
         assert!(!allows(Role::Tester, Permission::RunJob));

@@ -233,12 +233,11 @@ mod tests {
     fn transfers_pay_testers() {
         let mut l = CreditLedger::new();
         l.open_account("alice");
-        l.transfer("alice", "turker-1", 5.0, "usability HIT").unwrap();
+        l.transfer("alice", "turker-1", 5.0, "usability HIT")
+            .unwrap();
         assert_eq!(l.balance("alice").unwrap(), WELCOME_GRANT - 5.0);
         assert_eq!(l.balance("turker-1").unwrap(), WELCOME_GRANT + 5.0);
-        assert!(l
-            .transfer("alice", "turker-1", 1000.0, "too much")
-            .is_err());
+        assert!(l.transfer("alice", "turker-1", 1000.0, "too much").is_err());
     }
 
     #[test]
@@ -264,6 +263,9 @@ mod tests {
             .filter(|e| e.user == "alice")
             .map(|e| e.amount)
             .sum();
-        assert!((net - l.balance("alice").unwrap()).abs() < 1e-9, "ledger balances");
+        assert!(
+            (net - l.balance("alice").unwrap()).abs() < 1e-9,
+            "ledger balances"
+        );
     }
 }

@@ -22,6 +22,9 @@ pub struct Constraints {
     pub location: Option<VpnLocation>,
     /// Only start when the controller CPU is low (optional per §4.2).
     pub require_low_cpu: bool,
+    /// Re-queue the job up to this many times after a failed run
+    /// (transient bench faults: flaky socket, dropped transport).
+    pub max_retries: u32,
 }
 
 /// A declarative experiment: the pipeline the Jenkins UI builds.
@@ -126,7 +129,13 @@ pub struct QueuedJob {
     pub constraints: Constraints,
     /// What to run.
     pub payload: Payload,
+    /// Failed runs so far (retry bookkeeping).
+    pub attempts: u32,
 }
+
+/// Boxed custom job logic, run against the executing vantage point.
+pub type CustomJobFn =
+    Box<dyn FnMut(&mut batterylab_controller::VantagePoint) -> Result<JobOutcome, String> + Send>;
 
 /// Job payloads: declarative experiments, or custom logic (how the
 /// evaluation harness runs browser workloads with engine semantics).
@@ -134,7 +143,7 @@ pub enum Payload {
     /// Declarative pipeline.
     Experiment(ExperimentSpec),
     /// Arbitrary code against the vantage point.
-    Custom(Box<dyn FnMut(&mut batterylab_controller::VantagePoint) -> Result<JobOutcome, String> + Send>),
+    Custom(CustomJobFn),
 }
 
 #[cfg(test)]

@@ -27,17 +27,17 @@ pub mod ssh;
 mod vantage_exec;
 
 pub use access::{AccessServer, ServerError};
+pub use auth::{allows, AuthError, AuthService, Permission, Role, Session};
 pub use credits::{CreditError, CreditLedger, LedgerEntry};
 pub use fleet::{FleetExecutor, FleetJob, FleetResult};
-pub use recruitment::{Marketplace, Recruitment, RecruitError, TaskState, UsabilityTask};
-pub use remote::ControllerShell;
-pub use auth::{allows, AuthError, AuthService, Permission, Role, Session};
 pub use jobs::{
     Artifact, BuildRecord, BuildState, Constraints, ExperimentSpec, JobId, Payload, QueuedJob,
 };
 pub use maintenance::MaintenanceReport;
 pub use pipelines::{Pipeline, PipelineError, PipelineStore, ReviewState, Revision};
+pub use recruitment::{Marketplace, RecruitError, Recruitment, TaskState, UsabilityTask};
 pub use registry::{Certificate, NodeRecord, NodeRegistry, RegistryError, CERT_LIFETIME};
+pub use remote::ControllerShell;
 pub use scheduler::{Scheduler, DEFAULT_RETENTION};
 pub use slots::{Slot, SlotCalendar, SlotError};
 pub use ssh::{CommandHandler, SshClient, SshError, SshServer, SshSession};

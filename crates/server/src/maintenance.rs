@@ -24,10 +24,7 @@ pub struct MaintenanceReport {
 }
 
 /// Renew the wildcard cert if due and deploy to every stale node.
-pub fn certificate_sweep(
-    registry: &mut NodeRegistry,
-    now: SimTime,
-) -> MaintenanceReport {
+pub fn certificate_sweep(registry: &mut NodeRegistry, now: SimTime) -> MaintenanceReport {
     let mut report = MaintenanceReport::default();
     if registry.certificate().needs_renewal(now) {
         registry.renew_certificate(now);

@@ -188,7 +188,10 @@ impl PipelineStore {
 
     /// Pipelines with a pending revision (the admin's review queue).
     pub fn review_queue(&self) -> Vec<&Pipeline> {
-        self.pipelines.iter().filter(|p| p.pending().is_some()).collect()
+        self.pipelines
+            .iter()
+            .filter(|p| p.pending().is_some())
+            .collect()
     }
 }
 
@@ -224,7 +227,11 @@ mod tests {
         store.propose("p", "alice", spec(&["https://v1.com"]));
         store.approve("p", "admin").unwrap();
         // Alice edits: adds a sneaky extra URL.
-        store.propose("p", "alice", spec(&["https://v1.com", "https://sneaky.example"]));
+        store.propose(
+            "p",
+            "alice",
+            spec(&["https://v1.com", "https://sneaky.example"]),
+        );
         // Runs still use revision 1.
         let v1_len = store.runnable("p").unwrap().script.actions.len();
         assert_eq!(v1_len, spec(&["https://v1.com"]).script.actions.len());
@@ -239,7 +246,9 @@ mod tests {
         store.propose("p", "alice", spec(&["https://good.com"]));
         store.approve("p", "admin").unwrap();
         store.propose("p", "mallory", spec(&["https://evil.example"]));
-        store.reject("p", "admin", "unreviewed external target").unwrap();
+        store
+            .reject("p", "admin", "unreviewed external target")
+            .unwrap();
         let running = store.runnable("p").unwrap();
         let has_evil = running
             .script

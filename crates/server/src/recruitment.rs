@@ -80,7 +80,10 @@ pub struct UsabilityTask {
 impl UsabilityTask {
     /// The URL the worker opens (toolbar-hidden GUI on the node).
     pub fn session_url(&self) -> String {
-        format!("https://{}.batterylab.dev/?device={}&toolbar=0", self.node, self.device)
+        format!(
+            "https://{}.batterylab.dev/?device={}&toolbar=0",
+            self.node, self.device
+        )
     }
 }
 
@@ -131,6 +134,7 @@ impl Recruitment {
 
     /// Post a task. The requester must be able to afford the payout up
     /// front (escrow semantics).
+    #[allow(clippy::too_many_arguments)]
     pub fn post(
         &mut self,
         ledger: &CreditLedger,
@@ -257,11 +261,7 @@ mod tests {
     fn setup() -> (Recruitment, CreditLedger, AuthService) {
         let mut ledger = CreditLedger::new();
         ledger.open_account("alice");
-        (
-            Recruitment::new(),
-            ledger,
-            AuthService::new("admin", "pw"),
-        )
+        (Recruitment::new(), ledger, AuthService::new("admin", "pw"))
     }
 
     fn post(r: &mut Recruitment, l: &CreditLedger, pay: f64) -> u64 {
@@ -288,12 +288,17 @@ mod tests {
         assert!(url.contains("node1.batterylab.dev"));
         assert!(url.contains("toolbar=0"), "testers get no toolbar");
         // The worker got a Tester account.
-        let session = auth.login("turker-9", &format!("task-{id}-pw"), true).unwrap();
+        let session = auth
+            .login("turker-9", &format!("task-{id}-pw"), true)
+            .unwrap();
         assert_eq!(session.role, Role::Tester);
 
         r.submit(id).unwrap();
         r.approve(&mut ledger, id).unwrap();
-        assert_eq!(ledger.balance("turker-9").unwrap(), crate::credits::WELCOME_GRANT + 5.0);
+        assert_eq!(
+            ledger.balance("turker-9").unwrap(),
+            crate::credits::WELCOME_GRANT + 5.0
+        );
         assert!(matches!(r.task(id).unwrap().state, TaskState::Paid { .. }));
     }
 
@@ -334,8 +339,14 @@ mod tests {
         r.accept(&mut auth, id, "lazy-worker").unwrap();
         r.submit(id).unwrap();
         r.reject(id, "did not follow instructions").unwrap();
-        assert!(ledger.balance("lazy-worker").is_err(), "never paid, no account");
-        assert_eq!(ledger.balance("alice").unwrap(), crate::credits::WELCOME_GRANT);
+        assert!(
+            ledger.balance("lazy-worker").is_err(),
+            "never paid, no account"
+        );
+        assert_eq!(
+            ledger.balance("alice").unwrap(),
+            crate::credits::WELCOME_GRANT
+        );
     }
 
     #[test]
@@ -356,6 +367,9 @@ mod tests {
         r.accept(&mut auth, id, "friendly-phd").unwrap();
         r.submit(id).unwrap();
         r.approve(&mut ledger, id).unwrap();
-        assert_eq!(ledger.balance("alice").unwrap(), crate::credits::WELCOME_GRANT);
+        assert_eq!(
+            ledger.balance("alice").unwrap(),
+            crate::credits::WELCOME_GRANT
+        );
     }
 }

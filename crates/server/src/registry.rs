@@ -214,8 +214,15 @@ mod tests {
 
     fn registry() -> NodeRegistry {
         let mut r = NodeRegistry::new(SimTime::ZERO);
-        r.enroll("node1", "155.198.1.10", "hk:aa", &PORTS, "52.1.2.3", SimTime::ZERO)
-            .unwrap();
+        r.enroll(
+            "node1",
+            "155.198.1.10",
+            "hk:aa",
+            &PORTS,
+            "52.1.2.3",
+            SimTime::ZERO,
+        )
+        .unwrap();
         r
     }
 
@@ -232,7 +239,14 @@ mod tests {
     fn missing_port_fails_enrolment() {
         let mut r = NodeRegistry::new(SimTime::ZERO);
         let err = r
-            .enroll("node2", "1.2.3.4", "hk:bb", &[2222, 8080], "52.1.2.3", SimTime::ZERO)
+            .enroll(
+                "node2",
+                "1.2.3.4",
+                "hk:bb",
+                &[2222, 8080],
+                "52.1.2.3",
+                SimTime::ZERO,
+            )
             .map(|_| ())
             .unwrap_err();
         assert_eq!(err, RegistryError::PortUnreachable(6081));
@@ -242,7 +256,14 @@ mod tests {
     fn duplicate_enrolment_rejected() {
         let mut r = registry();
         let err = r
-            .enroll("node1", "9.9.9.9", "hk:cc", &PORTS, "52.1.2.3", SimTime::ZERO)
+            .enroll(
+                "node1",
+                "9.9.9.9",
+                "hk:cc",
+                &PORTS,
+                "52.1.2.3",
+                SimTime::ZERO,
+            )
             .map(|_| ())
             .unwrap_err();
         assert_eq!(err, RegistryError::DuplicateNode("node1".into()));

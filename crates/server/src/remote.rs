@@ -41,9 +41,7 @@ impl CommandHandler for ControllerShell {
         let err = |e: batterylab_controller::ControllerError| e.to_string();
         match args.as_slice() {
             ["blab", "list_devices"] => Ok(self.vp.list_devices().join("\n")),
-            ["blab", "power_monitor"] => {
-                Ok(format!("{:?}", self.vp.power_monitor().map_err(err)?))
-            }
+            ["blab", "power_monitor"] => Ok(format!("{:?}", self.vp.power_monitor().map_err(err)?)),
             ["blab", "set_voltage", v] => {
                 let volts: f64 = v.parse().map_err(|_| "bad voltage".to_string())?;
                 self.vp.set_voltage(volts).map_err(err)?;
@@ -107,10 +105,14 @@ mod tests {
         session.exec(&mut shell, "blab power_monitor").unwrap();
         session.exec(&mut shell, "blab set_voltage 4.0").unwrap();
         assert_eq!(
-            session.exec(&mut shell, "blab batt_switch ssh-dev").unwrap(),
+            session
+                .exec(&mut shell, "blab batt_switch ssh-dev")
+                .unwrap(),
             "Bypass"
         );
-        session.exec(&mut shell, "blab start_monitor ssh-dev").unwrap();
+        session
+            .exec(&mut shell, "blab start_monitor ssh-dev")
+            .unwrap();
         // Drive the workload through execute_adb over the same channel.
         session
             .exec(&mut shell, "blab execute_adb ssh-dev sleep 5")

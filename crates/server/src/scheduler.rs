@@ -8,10 +8,9 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use batterylab_controller::VantagePoint;
 use batterylab_sim::{SimDuration, SimTime};
+use batterylab_telemetry::{Counter, Registry};
 
-use crate::jobs::{
-    Artifact, BuildRecord, BuildState, Constraints, JobId, Payload, QueuedJob,
-};
+use crate::jobs::{Artifact, BuildRecord, BuildState, Constraints, JobId, Payload, QueuedJob};
 use crate::slots::SlotCalendar;
 use crate::vantage_exec::{run_experiment, JobOutcome};
 
@@ -20,6 +19,27 @@ pub const DEFAULT_RETENTION: SimDuration = SimDuration::from_secs(7 * 24 * 3600)
 
 /// Controller CPU threshold for `require_low_cpu` jobs.
 const LOW_CPU_THRESHOLD: f64 = 0.5;
+
+/// Pre-resolved telemetry handles for the queue (`scheduler.*`).
+struct SchedulerTelemetry {
+    registry: Registry,
+    jobs_submitted: Counter,
+    jobs_succeeded: Counter,
+    jobs_failed: Counter,
+    retries: Counter,
+}
+
+impl SchedulerTelemetry {
+    fn bind(registry: &Registry) -> Self {
+        SchedulerTelemetry {
+            jobs_submitted: registry.counter("scheduler.jobs_submitted"),
+            jobs_succeeded: registry.counter("scheduler.jobs_succeeded"),
+            jobs_failed: registry.counter("scheduler.jobs_failed"),
+            retries: registry.counter("scheduler.retries"),
+            registry: registry.clone(),
+        }
+    }
+}
 
 /// The queue + build history.
 pub struct Scheduler {
@@ -31,6 +51,7 @@ pub struct Scheduler {
     busy: BTreeSet<(String, String)>,
     /// Time-slot reservations (§3.1 "concurrent timed sessions").
     slots: SlotCalendar,
+    telemetry: SchedulerTelemetry,
 }
 
 impl Scheduler {
@@ -43,7 +64,19 @@ impl Scheduler {
             retention: DEFAULT_RETENTION,
             busy: BTreeSet::new(),
             slots: SlotCalendar::new(),
+            telemetry: SchedulerTelemetry::bind(&Registry::new()),
         }
+    }
+
+    /// Rebind telemetry to a shared registry (`scheduler.*` metrics).
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.set_telemetry(registry);
+        self
+    }
+
+    /// In-place variant of [`Self::with_telemetry`].
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = SchedulerTelemetry::bind(registry);
     }
 
     /// The reservation calendar.
@@ -90,7 +123,9 @@ impl Scheduler {
             owner: owner.to_string(),
             constraints,
             payload,
+            attempts: 0,
         });
+        self.telemetry.jobs_submitted.inc();
         id
     }
 
@@ -129,8 +164,7 @@ impl Scheduler {
                 if self.busy.contains(&(name.clone(), serial.clone())) {
                     continue; // one job at a time per device
                 }
-                if job.constraints.require_low_cpu && vp.pi_mut().sample_cpu() > LOW_CPU_THRESHOLD
-                {
+                if job.constraints.require_low_cpu && vp.pi_mut().sample_cpu() > LOW_CPU_THRESHOLD {
                     continue;
                 }
                 // Honour reservations at the device's current instant.
@@ -153,9 +187,11 @@ impl Scheduler {
     /// matters because `Custom` payloads may leave long-running state.
     pub fn tick(&mut self, nodes: &mut BTreeMap<String, VantagePoint>) -> Option<JobId> {
         // Find the first job (FIFO) with a feasible placement.
-        let idx = self.queue.iter().enumerate().find_map(|(i, job)| {
-            self.placeable(job, nodes).map(|placement| (i, placement))
-        });
+        let idx = self
+            .queue
+            .iter()
+            .enumerate()
+            .find_map(|(i, job)| self.placeable(job, nodes).map(|placement| (i, placement)));
         let (i, (node, device)) = idx?;
         let mut job = self.queue.remove(i).expect("index valid");
         self.busy.insert((node.clone(), device.clone()));
@@ -171,7 +207,8 @@ impl Scheduler {
             Payload::Custom(f) => f(vp),
         };
         self.busy.remove(&(node.clone(), device.clone()));
-        let record = self.builds.get_mut(&job.id).expect("record exists");
+        let id = job.id;
+        let record = self.builds.get_mut(&id).expect("record exists");
         record.node = Some(node);
         match result {
             Ok(outcome) => {
@@ -179,15 +216,26 @@ impl Scheduler {
                 record.summary = Some(outcome.summary);
                 record.artifacts = outcome.artifacts;
                 record.finished_at = Some(outcome.finished_at);
+                self.telemetry.jobs_succeeded.inc();
+            }
+            Err(err) if job.attempts < job.constraints.max_retries => {
+                // Transient failure budget left: back into the queue.
+                record.state = BuildState::Queued;
+                job.attempts += 1;
+                self.telemetry.retries.inc();
+                self.telemetry.registry.event(
+                    "scheduler.retry",
+                    format!("job {} attempt {}: {err}", id.0, job.attempts + 1),
+                );
+                self.queue.push_back(job);
             }
             Err(err) => {
                 record.state = BuildState::Failed(err);
-                record.finished_at = Some(
-                    vp_now(nodes.values().next()).unwrap_or(SimTime::ZERO),
-                );
+                record.finished_at = Some(vp_now(nodes.values().next()).unwrap_or(SimTime::ZERO));
+                self.telemetry.jobs_failed.inc();
             }
         }
-        Some(job.id)
+        Some(id)
     }
 
     /// Run the queue until nothing is placeable ("graceful drain").
@@ -261,15 +309,30 @@ mod tests {
     fn fifo_dispatch_and_success() {
         let mut nodes = nodes();
         let mut s = Scheduler::new();
-        let a = s.submit("job-a", "alice", Constraints::default(), Payload::Experiment(job_spec()));
-        let b = s.submit("job-b", "alice", Constraints::default(), Payload::Experiment(job_spec()));
+        let a = s.submit(
+            "job-a",
+            "alice",
+            Constraints::default(),
+            Payload::Experiment(job_spec()),
+        );
+        let b = s.submit(
+            "job-b",
+            "alice",
+            Constraints::default(),
+            Payload::Experiment(job_spec()),
+        );
         assert_eq!(s.queue_len(), 2);
         assert_eq!(s.tick(&mut nodes), Some(a));
         assert_eq!(s.tick(&mut nodes), Some(b));
         assert_eq!(s.tick(&mut nodes), None);
         assert_eq!(s.build(a).unwrap().state, BuildState::Succeeded);
         assert_eq!(s.build(a).unwrap().node.as_deref(), Some("node1"));
-        assert!(s.build(a).unwrap().summary.as_ref().unwrap()["discharge_mah"].as_f64().unwrap() > 0.0);
+        assert!(
+            s.build(a).unwrap().summary.as_ref().unwrap()["discharge_mah"]
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
     }
 
     #[test]
@@ -305,7 +368,12 @@ mod tests {
         );
         assert_eq!(s.tick(&mut nodes), None);
         // A feasible job behind it still dispatches (queue skips blocked).
-        let ok = s.submit("ok", "alice", Constraints::default(), Payload::Experiment(job_spec()));
+        let ok = s.submit(
+            "ok",
+            "alice",
+            Constraints::default(),
+            Payload::Experiment(job_spec()),
+        );
         assert_eq!(s.tick(&mut nodes), Some(ok));
     }
 
@@ -348,11 +416,72 @@ mod tests {
     }
 
     #[test]
+    fn transient_failures_retry_then_succeed() {
+        let registry = Registry::new();
+        let mut nodes = nodes();
+        let mut s = Scheduler::new().with_telemetry(&registry);
+        let mut failures_left = 2u32;
+        let id = s.submit(
+            "flaky",
+            "alice",
+            Constraints {
+                max_retries: 3,
+                ..Default::default()
+            },
+            Payload::Custom(Box::new(move |_vp| {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err("transient socket hiccup".to_string())
+                } else {
+                    Ok(JobOutcome {
+                        summary: serde_json::json!({}),
+                        artifacts: vec![],
+                        finished_at: SimTime::ZERO,
+                    })
+                }
+            })),
+        );
+        s.drain(&mut nodes);
+        assert_eq!(s.build(id).unwrap().state, BuildState::Succeeded);
+        let report = registry.snapshot();
+        assert_eq!(report.counter("scheduler.retries"), 2);
+        assert_eq!(report.counter("scheduler.jobs_succeeded"), 1);
+        assert_eq!(report.counter("scheduler.jobs_failed"), 0);
+        assert!(report.events.iter().any(|e| e.label == "scheduler.retry"));
+    }
+
+    #[test]
+    fn retry_budget_exhausts_to_failure() {
+        let registry = Registry::new();
+        let mut nodes = nodes();
+        let mut s = Scheduler::new().with_telemetry(&registry);
+        let id = s.submit(
+            "doomed",
+            "alice",
+            Constraints {
+                max_retries: 1,
+                ..Default::default()
+            },
+            Payload::Custom(Box::new(|_vp| Err("hard fault".to_string()))),
+        );
+        s.drain(&mut nodes);
+        assert!(matches!(s.build(id).unwrap().state, BuildState::Failed(_)));
+        let report = registry.snapshot();
+        assert_eq!(report.counter("scheduler.retries"), 1);
+        assert_eq!(report.counter("scheduler.jobs_failed"), 1);
+    }
+
+    #[test]
     fn workspace_retention_prunes_artifacts() {
         let mut nodes = nodes();
         let mut s = Scheduler::new();
         s.set_retention(SimDuration::from_secs(10));
-        let id = s.submit("j", "alice", Constraints::default(), Payload::Experiment(job_spec()));
+        let id = s.submit(
+            "j",
+            "alice",
+            Constraints::default(),
+            Payload::Experiment(job_spec()),
+        );
         s.tick(&mut nodes);
         assert!(!s.build(id).unwrap().artifacts.is_empty());
         let finished = s.build(id).unwrap().finished_at.unwrap();

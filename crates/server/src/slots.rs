@@ -141,7 +141,10 @@ mod tests {
         let mut cal = SlotCalendar::new();
         cal.reserve("node1", "d1", "alice", t(100), t(200)).unwrap();
         assert_eq!(cal.holder_at("node1", "d1", t(150)).unwrap().user, "alice");
-        assert!(cal.holder_at("node1", "d1", t(200)).is_none(), "end exclusive");
+        assert!(
+            cal.holder_at("node1", "d1", t(200)).is_none(),
+            "end exclusive"
+        );
         assert!(cal.holder_at("node1", "d1", t(99)).is_none());
     }
 

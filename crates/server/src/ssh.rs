@@ -12,6 +12,7 @@
 
 use std::collections::BTreeMap;
 
+use batterylab_telemetry::{Counter, Histogram, Registry};
 use bytes::{Buf, BufMut, BytesMut};
 
 /// SSH faults.
@@ -90,11 +91,35 @@ impl<F: FnMut(&str) -> Result<String, String>> CommandHandler for F {
     }
 }
 
+/// Pre-resolved telemetry handles for the SSH substrate (`ssh.*`).
+struct SshTelemetry {
+    sessions: Counter,
+    auth_failures: Counter,
+    host_key_mismatches: Counter,
+    execs: Counter,
+    exec_failures: Counter,
+    exec_bytes: Histogram,
+}
+
+impl SshTelemetry {
+    fn bind(registry: &Registry) -> Self {
+        SshTelemetry {
+            sessions: registry.counter("ssh.sessions"),
+            auth_failures: registry.counter("ssh.auth_failures"),
+            host_key_mismatches: registry.counter("ssh.host_key_mismatches"),
+            execs: registry.counter("ssh.execs"),
+            exec_failures: registry.counter("ssh.exec_failures"),
+            exec_bytes: registry.histogram("ssh.exec_bytes"),
+        }
+    }
+}
+
 /// The sshd on a controller.
 pub struct SshServer {
     host_key: String,
     authorized_keys: Vec<String>,
     sessions_served: u32,
+    telemetry: SshTelemetry,
 }
 
 impl SshServer {
@@ -104,7 +129,19 @@ impl SshServer {
             host_key: host_key.to_string(),
             authorized_keys,
             sessions_served: 0,
+            telemetry: SshTelemetry::bind(&Registry::new()),
         }
+    }
+
+    /// Rebind telemetry to a shared registry (`ssh.*` metrics).
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.set_telemetry(registry);
+        self
+    }
+
+    /// In-place variant of [`Self::with_telemetry`].
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = SshTelemetry::bind(registry);
     }
 
     /// The host key presented during key exchange.
@@ -127,8 +164,10 @@ impl SshServer {
     fn authenticate(&mut self, client_key: &str) -> Result<(), SshError> {
         if self.authorized_keys.iter().any(|k| k == client_key) {
             self.sessions_served += 1;
+            self.telemetry.sessions.inc();
             Ok(())
         } else {
+            self.telemetry.auth_failures.inc();
             Err(SshError::AuthFailed(client_key.to_string()))
         }
     }
@@ -163,6 +202,7 @@ impl SshClient {
     ) -> Result<SshSession<'s>, SshError> {
         if let Some(pinned) = self.known_hosts.get(host) {
             if pinned != &server.host_key {
+                server.telemetry.host_key_mismatches.inc();
                 return Err(SshError::HostKeyMismatch {
                     presented: server.host_key.clone(),
                     pinned: pinned.clone(),
@@ -187,7 +227,7 @@ impl SshSession<'_> {
         handler: &mut H,
         cmd: &str,
     ) -> Result<String, SshError> {
-        let _ = &self.server; // session keeps the server borrow alive
+        self.server.telemetry.execs.inc();
         // Client → server.
         let wire = encode_frame(cmd.as_bytes());
         let mut rx = BytesMut::from(&wire[..]);
@@ -217,7 +257,12 @@ impl SshSession<'_> {
                 .map_err(|_| SshError::Framing("bad status".to_string()))?,
         );
         let body = String::from_utf8_lossy(&body_frame).into_owned();
+        self.server
+            .telemetry
+            .exec_bytes
+            .record((wire.len() + body.len()) as u64);
         if code != 0 {
+            self.server.telemetry.exec_failures.inc();
             return Err(SshError::ExitNonZero { code, stderr: body });
         }
         Ok(body)
@@ -289,6 +334,35 @@ mod tests {
             session.exec(&mut handler, "bogus").unwrap_err(),
             SshError::ExitNonZero { code: 1, .. }
         ));
+    }
+
+    #[test]
+    fn telemetry_counts_sessions_and_failures() {
+        let registry = Registry::new();
+        let mut server = SshServer::new("hk:n", vec!["fp:s".to_string()]).with_telemetry(&registry);
+        let good = SshClient::new("fp:s");
+        let bad = SshClient::new("fp:intruder");
+        let mut mitm = SshClient::new("fp:s");
+        mitm.pin_host("n", "hk:other");
+        assert!(bad.connect("n", &mut server).is_err());
+        assert!(mitm.connect("n", &mut server).is_err());
+        let mut session = good.connect("n", &mut server).unwrap();
+        let mut handler = |cmd: &str| -> Result<String, String> {
+            if cmd == "ok" {
+                Ok("fine".to_string())
+            } else {
+                Err("nope".to_string())
+            }
+        };
+        session.exec(&mut handler, "ok").unwrap();
+        let _ = session.exec(&mut handler, "bad");
+        let report = registry.snapshot();
+        assert_eq!(report.counter("ssh.sessions"), 1);
+        assert_eq!(report.counter("ssh.auth_failures"), 1);
+        assert_eq!(report.counter("ssh.host_key_mismatches"), 1);
+        assert_eq!(report.counter("ssh.execs"), 2);
+        assert_eq!(report.counter("ssh.exec_failures"), 1);
+        assert_eq!(report.histogram("ssh.exec_bytes").unwrap().count, 2);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! ADB-WiFi, collect power report and logcat, and leave the bench safe
 //! (meter off) afterwards.
 
-use batterylab_automation::{AdbBackend, AutomationBackend};
 use batterylab_adb::TransportKind;
+use batterylab_automation::{AdbBackend, AutomationBackend};
 use batterylab_controller::{ControllerError, VantagePoint};
 use batterylab_sim::SimTime;
 
@@ -136,9 +136,7 @@ fn run_inner(vp: &mut VantagePoint, spec: &ExperimentSpec) -> Result<JobOutcome,
 
     // 5. Logs.
     if spec.collect_logcat {
-        let logcat = vp
-            .execute_adb(&spec.device, "logcat -d")
-            .map_err(ctl)?;
+        let logcat = vp.execute_adb(&spec.device, "logcat -d").map_err(ctl)?;
         artifacts.push(Artifact {
             name: "logcat.txt".to_string(),
             content: logcat,

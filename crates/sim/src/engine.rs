@@ -85,7 +85,11 @@ impl<C> Engine<C> {
     /// "now" (still after the currently executing event) rather than
     /// panicking, because device models occasionally round durations down to
     /// the current instant.
-    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut Engine<C>, &mut C) + 'static) {
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut Engine<C>, &mut C) + 'static,
+    ) {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -97,7 +101,11 @@ impl<C> Engine<C> {
     }
 
     /// Schedule `event` to run after `delay`.
-    pub fn schedule_in(&mut self, delay: SimDuration, event: impl FnOnce(&mut Engine<C>, &mut C) + 'static) {
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut Engine<C>, &mut C) + 'static,
+    ) {
         self.schedule_at(self.now + delay, event);
     }
 
@@ -160,10 +168,13 @@ pub fn every<C: 'static>(
     arm_periodic(engine, period, Box::new(tick));
 }
 
+/// Boxed periodic-timer callback: keeps rescheduling while it returns `true`.
+type PeriodicTick<C> = Box<dyn FnMut(&mut Engine<C>, &mut C) -> bool>;
+
 fn arm_periodic<C: 'static>(
     engine: &mut Engine<C>,
     period: SimDuration,
-    mut tick: Box<dyn FnMut(&mut Engine<C>, &mut C) -> bool>,
+    mut tick: PeriodicTick<C>,
 ) {
     engine.schedule_in(period, move |eng, ctx| {
         if tick(eng, ctx) {
@@ -185,9 +196,15 @@ mod tests {
     fn events_run_in_time_order() {
         let mut eng: Engine<World> = Engine::new();
         let mut world = World::default();
-        eng.schedule_at(SimTime::from_secs(3), |e, w| w.log.push((e.now().as_micros(), "c")));
-        eng.schedule_at(SimTime::from_secs(1), |e, w| w.log.push((e.now().as_micros(), "a")));
-        eng.schedule_at(SimTime::from_secs(2), |e, w| w.log.push((e.now().as_micros(), "b")));
+        eng.schedule_at(SimTime::from_secs(3), |e, w| {
+            w.log.push((e.now().as_micros(), "c"))
+        });
+        eng.schedule_at(SimTime::from_secs(1), |e, w| {
+            w.log.push((e.now().as_micros(), "a"))
+        });
+        eng.schedule_at(SimTime::from_secs(2), |e, w| {
+            w.log.push((e.now().as_micros(), "b"))
+        });
         eng.run_to_completion(&mut world);
         assert_eq!(
             world.log,

@@ -195,7 +195,9 @@ mod tests {
         let root = SimRng::new(1);
         let mut a = root.derive("a");
         let mut b = root.derive("b");
-        let same = (0..32).filter(|_| a.unit().to_bits() == b.unit().to_bits()).count();
+        let same = (0..32)
+            .filter(|_| a.unit().to_bits() == b.unit().to_bits())
+            .count();
         assert!(same < 4, "streams should be effectively independent");
     }
 

@@ -161,7 +161,10 @@ impl StepSignal {
     /// change. Setting the same value is a no-op (keeps the trace compact).
     pub fn set(&mut self, t: SimTime, value: f64) {
         let (last_t, last_v) = *self.points.last().expect("StepSignal is never empty");
-        assert!(t >= last_t, "StepSignal::set out of order: {t:?} < {last_t:?}");
+        assert!(
+            t >= last_t,
+            "StepSignal::set out of order: {t:?} < {last_t:?}"
+        );
         if value == last_v {
             return;
         }

@@ -243,7 +243,10 @@ mod tests {
     fn construction_round_trips() {
         assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
         assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
-        assert_eq!(SimDuration::from_secs(1) + SimDuration::from_millis(500), SimDuration::from_millis(1500));
+        assert_eq!(
+            SimDuration::from_secs(1) + SimDuration::from_millis(500),
+            SimDuration::from_millis(1500)
+        );
     }
 
     #[test]
@@ -267,7 +270,10 @@ mod tests {
     fn from_secs_f64_clamps_bad_inputs() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]

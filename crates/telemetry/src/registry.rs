@@ -1,0 +1,311 @@
+//! The metric registry and its serialisable snapshot.
+//!
+//! A [`Registry`] is a cheap clonable handle; every component of a
+//! vantage point holds one and resolves its metric handles *once* at
+//! construction time, so nothing on a hot path ever touches the
+//! registry lock. `snapshot()` freezes the whole platform's state into
+//! a [`Report`] with metrics ordered by name — the JSON it renders is
+//! identical across same-seed runs.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::VirtualClock;
+use crate::journal::{Event, Journal};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// Shared handle to a set of named metrics plus the run's journal and
+/// virtual clock.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+    journal: Journal,
+    clock: VirtualClock,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`. Resolve once and keep
+    /// the handle; bumping the handle is lock-free.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The run's event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The run's shared virtual clock; components advance it from sim
+    /// time as they work.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Record a journal event stamped with the current virtual time.
+    pub fn event(&self, label: impl Into<String>, detail: impl Into<String>) {
+        use crate::clock::Clock;
+        self.journal.push(self.clock.now_micros(), label, detail);
+    }
+
+    /// Freeze everything into a [`Report`].
+    pub fn snapshot(&self) -> Report {
+        use crate::clock::Clock;
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        Report {
+            at_micros: self.clock.now_micros(),
+            counters,
+            gauges,
+            histograms,
+            events: self.journal.snapshot(),
+            events_dropped: self.journal.dropped(),
+        }
+    }
+}
+
+/// A frozen, serialisable view of a [`Registry`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Virtual time of the snapshot, microseconds.
+    pub at_micros: u64,
+    /// Counter totals, ordered by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values, ordered by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots, ordered by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Journal events, ordered by `(time, label, detail)`.
+    pub events: Vec<Event>,
+    /// Events evicted from the journal due to capacity.
+    pub events_dropped: u64,
+}
+
+impl Report {
+    /// Pretty JSON; stable across same-seed runs.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Names of top-level metric families present (the part of a
+    /// dotted name before the first `.`), deduplicated.
+    pub fn families(&self) -> Vec<String> {
+        let mut families: Vec<String> = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|name| name.split('.').next().unwrap_or(name).to_string())
+            .collect();
+        families.sort();
+        families.dedup();
+        families
+    }
+
+    /// Aligned text rendering for `blab metrics` and eval logs.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry report @ {:.3}s virtual\n",
+            self.at_micros as f64 / 1e6
+        ));
+
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters\n");
+            let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {value:>12}\n"));
+            }
+        }
+
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges\n");
+            let width = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {value:>12}\n"));
+            }
+        }
+
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms\n");
+            let width = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            out.push_str(&format!(
+                "  {:<width$}  {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}\n",
+                "name", "count", "mean", "p50", "p99", "min", "max"
+            ));
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<width$}  {:>10} {:>12.1} {:>10} {:>10} {:>10} {:>10}\n",
+                    h.count,
+                    h.mean(),
+                    h.percentile(0.50),
+                    h.percentile(0.99),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+
+        if !self.events.is_empty() {
+            out.push_str(&format!(
+                "\nevents ({} retained, {} dropped)\n",
+                self.events.len(),
+                self.events_dropped
+            ));
+            for event in &self.events {
+                out.push_str(&format!(
+                    "  {:>12.6}s  {:<28} {}\n",
+                    event.at_micros as f64 / 1e6,
+                    event.label,
+                    event.detail
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_the_metric() {
+        let registry = Registry::new();
+        registry.counter("adb.frames_tx").add(3);
+        registry.counter("adb.frames_tx").add(4);
+        assert_eq!(registry.snapshot().counter("adb.frames_tx"), 7);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let registry = Registry::new();
+        let other = registry.clone();
+        other.counter("x").inc();
+        other.clock().advance_to(99);
+        registry.event("boot", "vp0");
+        let report = registry.snapshot();
+        assert_eq!(report.counter("x"), 1);
+        assert_eq!(report.at_micros, 99);
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].at_micros, 99);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_ordered() {
+        let build = || {
+            let registry = Registry::new();
+            registry.counter("b.two").add(2);
+            registry.counter("a.one").add(1);
+            registry.histogram("lat").record(5);
+            registry.gauge("depth").set(-3);
+            registry.event("e", "d");
+            registry.snapshot()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        let names: Vec<&String> = a.counters.keys().collect();
+        assert_eq!(names, ["a.one", "b.two"]);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let registry = Registry::new();
+        registry.counter("c").add(11);
+        registry.histogram("h").record(1000);
+        registry.event("label", "detail");
+        let report = registry.snapshot();
+        let back: Report = serde_json::from_str(&report.to_json()).expect("parses");
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn families_split_on_dots() {
+        let registry = Registry::new();
+        registry.counter("adb.frames_tx").inc();
+        registry.counter("adb.frames_rx").inc();
+        registry.gauge("relay.engaged").set(1);
+        registry.histogram("monsoon.sample_us").record(3);
+        assert_eq!(registry.snapshot().families(), ["adb", "monsoon", "relay"]);
+    }
+
+    #[test]
+    fn render_text_mentions_everything() {
+        let registry = Registry::new();
+        registry.counter("power.samples").add(5000);
+        registry.histogram("adb.frame_bytes").record(4096);
+        registry.event("relay.bypass", "ch0");
+        let text = registry.snapshot().render_text();
+        assert!(text.contains("power.samples"));
+        assert!(text.contains("adb.frame_bytes"));
+        assert!(text.contains("relay.bypass"));
+    }
+}

@@ -15,6 +15,6 @@ mod sites;
 mod video;
 
 pub use browsers::BrowserProfile;
-pub use video::{stream_video, StreamProfile, StreamStats};
 pub use runner::{BrowserRunner, PageVisit, WorkloadStats, PAGE_DWELL};
 pub use sites::{news_sites, Website};
+pub use video::{stream_video, StreamProfile, StreamStats};

@@ -143,9 +143,8 @@ impl<'a, B: AutomationBackend> BrowserRunner<'a, B> {
         // Work units are core-seconds; the burst runs at ~45 % of the SoC.
         let burst_util = (0.42 * self.profile.render_factor).min(0.9);
         let burst_secs = js_work / (8.0 * burst_util);
-        self.device.with_sim(|s| {
-            s.run_activity(SimDuration::from_secs_f64(burst_secs), burst_util, 0.75)
-        });
+        self.device
+            .with_sim(|s| s.run_activity(SimDuration::from_secs_f64(burst_secs), burst_util, 0.75));
 
         let load_time = self.device.with_sim(|s| s.now()) - t0;
 
@@ -174,9 +173,8 @@ impl<'a, B: AutomationBackend> BrowserRunner<'a, B> {
     pub fn scroll(&mut self, dir: ScrollDir) -> Result<(), AutomationError> {
         self.backend.perform(&Action::Scroll(dir))?;
         let util = (self.profile.scroll_util * self.profile.render_factor).min(0.9);
-        self.device.with_sim(|s| {
-            s.run_activity(SimDuration::from_millis(350), util, 0.45)
-        });
+        self.device
+            .with_sim(|s| s.run_activity(SimDuration::from_millis(350), util, 0.45));
         Ok(())
     }
 
@@ -194,7 +192,11 @@ impl<'a, B: AutomationBackend> BrowserRunner<'a, B> {
             let visit = self.visit(site)?;
             bytes += visit.bytes;
             for i in 0..scrolls_per_page {
-                let dir = if i % 2 == 0 { ScrollDir::Down } else { ScrollDir::Up };
+                let dir = if i % 2 == 0 {
+                    ScrollDir::Down
+                } else {
+                    ScrollDir::Up
+                };
                 self.scroll(dir)?;
             }
         }
@@ -223,9 +225,12 @@ mod tests {
 
     fn setup(seed: u64) -> (AndroidDevice, AdbBackend) {
         let device = boot_j7_duo(&SimRng::new(seed), "wl-dev");
-        let backend =
-            AdbBackend::connect(device.clone(), TransportKind::WiFi, AdbKey::generate("c", seed))
-                .unwrap();
+        let backend = AdbBackend::connect(
+            device.clone(),
+            TransportKind::WiFi,
+            AdbKey::generate("c", seed),
+        )
+        .unwrap();
         (device, backend)
     }
 
@@ -313,15 +318,22 @@ mod tests {
             BrowserProfile::chrome(),
             Region::Vpn(VpnLocation::Japan),
         );
-        assert!(jp_chrome.lite_pages_enabled(), "Japan defaults Lite Pages on");
+        assert!(
+            jp_chrome.lite_pages_enabled(),
+            "Japan defaults Lite Pages on"
+        );
         let site = &news_sites()[0];
         let with = jp_chrome.page_bytes(site);
         jp_chrome.set_lite_pages(false);
         let without = jp_chrome.page_bytes(site);
         assert_eq!(with, without, "no catalog page supports Lite Pages (§4.3)");
         drop(jp_chrome);
-        let uk_chrome =
-            BrowserRunner::new(device, &mut backend, BrowserProfile::chrome(), Region::Local);
+        let uk_chrome = BrowserRunner::new(
+            device,
+            &mut backend,
+            BrowserProfile::chrome(),
+            Region::Local,
+        );
         assert!(!uk_chrome.lite_pages_enabled());
     }
 
@@ -347,7 +359,8 @@ mod tests {
         let run = |profile: BrowserProfile, seed: u64| -> f64 {
             let (device, mut backend) = setup(seed);
             let sites = news_sites();
-            let mut runner = BrowserRunner::new(device.clone(), &mut backend, profile, Region::Local);
+            let mut runner =
+                BrowserRunner::new(device.clone(), &mut backend, profile, Region::Local);
             let stats = runner.run_workload(&sites, 4).unwrap();
             // Sample the CPU trace at 1 Hz like the paper's monitoring.
             let samples: Vec<f64> = (0..stats.duration.as_micros() / 1_000_000)
@@ -362,8 +375,14 @@ mod tests {
         };
         let chrome = run(BrowserProfile::chrome(), 6);
         let brave = run(BrowserProfile::brave(), 6);
-        assert!((14.0..27.0).contains(&chrome), "Chrome median CPU {chrome:.1}%, paper ≈20%");
-        assert!((8.0..16.0).contains(&brave), "Brave median CPU {brave:.1}%, paper ≈12%");
+        assert!(
+            (14.0..27.0).contains(&chrome),
+            "Chrome median CPU {chrome:.1}%, paper ≈20%"
+        );
+        assert!(
+            (8.0..16.0).contains(&brave),
+            "Brave median CPU {brave:.1}%, paper ≈12%"
+        );
         assert!(chrome > brave + 4.0, "Chrome must sit clearly above Brave");
     }
 }

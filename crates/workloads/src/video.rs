@@ -124,7 +124,11 @@ mod tests {
         assert!((stats.played_s - 60.0).abs() < 4.0);
         // 2.5 Mbps × 60 s = 18.75 MB give or take a segment.
         let expected = 2_500_000.0 * 60.0 / 8.0;
-        assert!((stats.bytes as f64 - expected).abs() < expected * 0.15, "{}", stats.bytes);
+        assert!(
+            (stats.bytes as f64 - expected).abs() < expected * 0.15,
+            "{}",
+            stats.bytes
+        );
         assert_eq!(stats.stalls, 0, "fast WiFi never stalls");
     }
 
@@ -143,7 +147,11 @@ mod tests {
         let d_stream = device(2);
         // A typical home link: the radio stays up ~2.5 s per 4 s segment.
         d_stream.with_sim(|s| s.set_network(LinkProfile::new(12.0, 5.0, 25.0, 0.0)));
-        stream_video(&d_stream, SimDuration::from_secs(60), StreamProfile::default());
+        stream_video(
+            &d_stream,
+            SimDuration::from_secs(60),
+            StreamProfile::default(),
+        );
         let stream_ma = d_stream.with_sim(|s| {
             let end = s.now();
             s.current_trace().mean(SimTime::ZERO, end)
@@ -163,7 +171,11 @@ mod tests {
         assert!(stats.stalls > 0, "under-provisioned link must stall");
         // Wall time exceeds media time.
         let wall = (stats.window.1 - stats.window.0).as_secs_f64();
-        assert!(wall > stats.played_s * 1.2, "wall {wall} vs played {}", stats.played_s);
+        assert!(
+            wall > stats.played_s * 1.2,
+            "wall {wall} vs played {}",
+            stats.played_s
+        );
     }
 
     #[test]

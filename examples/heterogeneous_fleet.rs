@@ -83,7 +83,11 @@ fn main() {
     let mut executor = FleetExecutor::start(nodes);
     let script = Script::browser_workload(
         "com.brave.browser",
-        &["https://news.bbc.co.uk", "https://reuters.com", "https://cnn.com"],
+        &[
+            "https://news.bbc.co.uk",
+            "https://reuters.com",
+            "https://cnn.com",
+        ],
         4,
     );
     for (i, (node_name, serial, _, _)) in fleet_spec.iter().enumerate() {

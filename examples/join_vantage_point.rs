@@ -9,7 +9,7 @@
 
 use batterylab::automation::Script;
 use batterylab::controller::{VantageConfig, VantagePoint};
-use batterylab::device::{boot_j7_duo, DeviceSpec, AndroidDevice};
+use batterylab::device::{boot_j7_duo, AndroidDevice, DeviceSpec};
 use batterylab::net::LinkProfile;
 use batterylab::platform::{Platform, NODE_PORTS};
 use batterylab::server::{Constraints, ExperimentSpec, Payload};
@@ -59,7 +59,10 @@ fn main() {
         &[2222, 8080], // forgot noVNC
         SimTime::ZERO,
     );
-    println!("enrolment without port 6081: {}", bad.err().map(|e| e.to_string()).unwrap_or_default());
+    println!(
+        "enrolment without port 6081: {}",
+        bad.err().map(|e| e.to_string()).unwrap_or_default()
+    );
 
     // With all ports open it goes through: DNS published, cert deployed.
     let fqdn = platform
@@ -76,7 +79,11 @@ fn main() {
     println!("node2 enrolled : https://{fqdn}");
     println!(
         "DNS            : {fqdn} -> {}",
-        platform.server.registry().resolve(&fqdn).expect("published")
+        platform
+            .server
+            .registry()
+            .resolve(&fqdn)
+            .expect("published")
     );
     println!(
         "wildcard cert  : serial {} deployed",

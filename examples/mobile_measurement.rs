@@ -56,7 +56,10 @@ fn main() {
     let bench_cdf = Cdf::from_samples(bench_run.samples.values());
 
     println!("same browsing workload, two measurement setups:\n");
-    println!("{:<22} {:>10} {:>10} {:>12}", "setup", "median mA", "p95 mA", "mAh/2min");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12}",
+        "setup", "median mA", "p95 mA", "mAh/2min"
+    );
     println!(
         "{:<22} {:>10.1} {:>10.1} {:>12.3}",
         "walk (cellular+BattOr)",

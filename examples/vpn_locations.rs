@@ -16,7 +16,10 @@ fn main() {
     let t2 = table2::run(&config);
     println!("{}", t2.render());
 
-    println!("measuring Brave & Chrome through each tunnel ({} reps)...\n", config.reps);
+    println!(
+        "measuring Brave & Chrome through each tunnel ({} reps)...\n",
+        config.reps
+    );
     let f6 = fig6::run(&config);
     println!("{}", f6.render());
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Pre-merge gate. Run from the repo root before every merge:
+#
+#   scripts/ci.sh            # format check + lints + tier-1 tests
+#   scripts/ci.sh --fix      # apply rustfmt instead of checking
+#
+# Mirrors the tier-1 verify (`cargo build --release && cargo test -q`)
+# with the style gates in front so failures are cheap and early.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix" ]]; then
+    cargo fmt
+else
+    cargo fmt --check
+fi
+
+cargo clippy --workspace --all-targets -- -D warnings
+
+cargo build --release
+cargo test -q

@@ -1,0 +1,191 @@
+//! Minimal `criterion` shim.
+//!
+//! Same authoring surface (`Criterion`, `benchmark_group`,
+//! `bench_function`, `Throughput`, `criterion_group!`/`criterion_main!`)
+//! but a much simpler engine: each benchmark is warmed up briefly, then
+//! timed over enough iterations to fill a fixed measurement window, and
+//! the mean per-iteration time (plus derived throughput) is printed.
+//! There is no statistical analysis, outlier rejection or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Throughput declaration used to derive rates from iteration time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the closure given to `bench_function`; drives timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, None, self.measurement, f);
+        self
+    }
+}
+
+/// A named group; carries shared throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.throughput, self.criterion.measurement, f);
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+    mut f: F,
+) {
+    // Warm-up + calibration: one iteration to estimate cost.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+
+    // Size the measured run to roughly fill the measurement window.
+    let iters = (measurement.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+    bencher.iters = iters;
+    f(&mut bencher);
+
+    let per_iter = bencher.elapsed.as_secs_f64() / iters as f64;
+    let mut line = format!(
+        "{name:<40} {:>12}/iter  ({iters} iters)",
+        fmt_time(per_iter)
+    );
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / per_iter;
+            line.push_str(&format!("  {:.1} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / per_iter;
+            line.push_str(&format!("  {rate:.0} elem/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runner, as upstream criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point: run every group when the bench binary executes.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        let mut hits = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        group.finish();
+        assert!(hits > 0);
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,249 @@
+//! Minimal `rand` shim.
+//!
+//! Provides the slice of the rand 0.10 API the workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `RngExt`
+//! extension methods `random::<T>()` and `random_range(..)`.
+//!
+//! The core generator is xoshiro256++ seeded through splitmix64 — fast,
+//! high-quality and fully deterministic per seed, but *not* the same
+//! stream as upstream rand's ChaCha12-based `StdRng`. Workspace tests
+//! assert statistical properties, never golden sequences, so the
+//! difference is unobservable.
+
+/// Construction of seedable generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core uniform source: 64 random bits per call.
+pub trait RngCore {
+    /// The next 64 uniformly-random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from the full value domain via
+/// [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that [`RngExt::random_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draw one value uniformly from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); the slight
+                // modulo bias of the plain approach is avoided.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as u128 + hi as u128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as u128 - start as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                (start as u128 + hi as u128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as i128 + hi as i128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                (start as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let unit = <$t as Standard>::draw(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A uniformly-random value of `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// A uniformly-random value in `range`.
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Compatibility alias: rand 0.8's name for [`RngExt`].
+pub use self::RngExt as Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.random_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 reachable");
+        for _ in 0..1000 {
+            let v = rng.random_range(3..=5u64);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_draws_is_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.005);
+    }
+}

@@ -51,10 +51,16 @@ fn table1_api_complete_walkthrough() {
     let report = vp.stop_monitor_at_rate(500.0).unwrap();
     assert!(report.mah() > 0.0);
     // Mirroring was on: the median reflects the encoder cost.
-    assert!(report.cdf().median() > 195.0, "median {}", report.cdf().median());
+    assert!(
+        report.cdf().median() > 195.0,
+        "median {}",
+        report.cdf().median()
+    );
 
     // execute_adb
-    let sdk = vp.execute_adb(&serial, "getprop ro.build.version.sdk").unwrap();
+    let sdk = vp
+        .execute_adb(&serial, "getprop ro.build.version.sdk")
+        .unwrap();
     assert_eq!(sdk.trim(), "26");
 
     // device_mirroring (toggle off), batt_switch back, power off.

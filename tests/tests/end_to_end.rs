@@ -229,9 +229,7 @@ fn mirrored_and_plain_jobs_share_a_device_sequentially() {
         .clone()
         .unwrap();
     // Mirroring costs energy — visible even through the whole pipeline.
-    assert!(
-        mirrored["discharge_mah"].as_f64().unwrap() > plain["discharge_mah"].as_f64().unwrap()
-    );
+    assert!(mirrored["discharge_mah"].as_f64().unwrap() > plain["discharge_mah"].as_f64().unwrap());
 }
 
 #[test]
@@ -253,5 +251,8 @@ fn device_time_advances_monotonically_across_jobs() {
     }
     platform.server.drain();
     let t1 = device.with_sim(|s| s.now());
-    assert!(t1 > t0 + SimDuration::from_secs(25), "three jobs of ~10 s each");
+    assert!(
+        t1 > t0 + SimDuration::from_secs(25),
+        "three jobs of ~10 s each"
+    );
 }

@@ -2,8 +2,8 @@
 //! reduced scale. Each assertion is a *shape* the reproduction must
 //! preserve, not an absolute number.
 
-use batterylab::eval::{fig2, fig3, fig5, sysperf, table2, EvalConfig};
 use batterylab::eval::fig2::Fig2Scenario;
+use batterylab::eval::{fig2, fig3, fig5, sysperf, table2, EvalConfig};
 use batterylab::net::VpnLocation;
 
 fn config() -> EvalConfig {
@@ -34,18 +34,22 @@ fn fig3_shapes() {
     assert_eq!(ranking.last().map(String::as_str), Some("Firefox"));
     // Mirroring: positive, roughly constant extra.
     for browser in ["Brave", "Chrome", "Edge", "Firefox"] {
-        assert!(
-            f.bar(browser, true).discharge_mah.mean > f.bar(browser, false).discharge_mah.mean
-        );
+        assert!(f.bar(browser, true).discharge_mah.mean > f.bar(browser, false).discharge_mah.mean);
     }
 }
 
 #[test]
 fn fig5_shapes() {
     let f = fig5::run(&config());
-    assert!(f.line(false).cpu.median() < 0.35, "constant ~25% without mirroring");
+    assert!(
+        f.line(false).cpu.median() < 0.35,
+        "constant ~25% without mirroring"
+    );
     assert!(f.line(true).cpu.median() > 0.5, "median rises toward ~75%");
-    assert!(f.line(true).cpu.fraction_above(0.95) > 0.0, "a heavy tail exists");
+    assert!(
+        f.line(true).cpu.fraction_above(0.95) > 0.0,
+        "a heavy tail exists"
+    );
 }
 
 #[test]
@@ -70,4 +74,25 @@ fn sysperf_shapes() {
     assert!(s.memory_mirroring < 0.20);
     assert!((1.2..1.7).contains(&s.latency.mean));
     assert!(s.upload_bytes > 0);
+}
+
+#[test]
+fn sysperf_telemetry_agrees_with_probes() {
+    // §4.2 re-derived from the shared registry must match the piecewise
+    // probes byte for byte: same upload traffic, same sample volume.
+    let s = sysperf::run(&config());
+    assert_eq!(
+        s.upload_bytes, s.probe_upload_bytes,
+        "registry vs per-session upload accounting"
+    );
+    assert_eq!(
+        s.telemetry.power_samples, s.telemetry.probe_power_samples,
+        "registry vs measurement-report sample counts"
+    );
+    assert_eq!(s.telemetry.measurements_completed, 1);
+    assert!(s.telemetry.adb_frames_tx > 0, "workload ran over ADB");
+    assert!(
+        s.telemetry.encoded_bytes >= s.upload_bytes / 2,
+        "encoder produced at least the order of what went on the wire"
+    );
 }

@@ -100,11 +100,19 @@ fn failed_job_does_not_wedge_the_queue() {
         .unwrap();
     platform.server.drain();
     assert!(matches!(
-        platform.server.build(platform.experimenter_token, bad).unwrap().state,
+        platform
+            .server
+            .build(platform.experimenter_token, bad)
+            .unwrap()
+            .state,
         BuildState::Failed(_)
     ));
     assert_eq!(
-        platform.server.build(platform.experimenter_token, good).unwrap().state,
+        platform
+            .server
+            .build(platform.experimenter_token, good)
+            .unwrap()
+            .state,
         BuildState::Succeeded
     );
 }
@@ -147,7 +155,10 @@ fn battery_depletion_is_observable_via_dumpsys() {
         .unwrap()
         .parse()
         .unwrap();
-    assert!(level < 100, "10 virtual hours at 80% CPU must drain: {level}%");
+    assert!(
+        level < 100,
+        "10 virtual hours at 80% CPU must drain: {level}%"
+    );
 }
 
 #[test]
@@ -155,7 +166,11 @@ fn stale_certificates_are_detected_and_healed() {
     let mut platform = Platform::paper_testbed(506);
     // Fast-forward past the renewal margin.
     let later = SimTime::from_secs(75 * 24 * 3600);
-    assert!(platform.server.registry().certificate().needs_renewal(later));
+    assert!(platform
+        .server
+        .registry()
+        .certificate()
+        .needs_renewal(later));
     let report = platform.server.run_maintenance(later);
     assert!(report.cert_renewed);
     assert!(platform.server.registry().stale_cert_nodes().is_empty());
@@ -165,6 +180,108 @@ fn stale_certificates_are_detected_and_healed() {
         .registry()
         .certificate()
         .needs_renewal(later + SimDuration::from_secs(30 * 24 * 3600)));
+}
+
+#[test]
+fn socket_retries_show_up_in_telemetry() {
+    let mut platform = Platform::paper_testbed(508);
+    let vp = platform.node1();
+    vp.socket_mut().inject_unreachable(2);
+    // The controller's retry loop absorbs the hiccups…
+    vp.power_monitor().unwrap();
+    // …and the telemetry records how hard it had to work.
+    let report = platform.metrics();
+    assert_eq!(report.counter("controller.socket_retries"), 2);
+}
+
+#[test]
+fn transport_flap_increments_reconnect_counter() {
+    use batterylab::telemetry::Registry;
+    let registry = Registry::new();
+    let device = AndroidDevice::new(
+        DeviceSpec::samsung_j7_duo(),
+        "flap-tel",
+        SimRng::new(509).derive("d"),
+        true,
+    );
+    let mut link = AdbLink::new(device, TransportKind::WiFi, AdbKey::generate("h", 509))
+        .with_telemetry(&registry);
+    link.connect().unwrap();
+    link.disconnect_transport();
+    link.reconnect_transport();
+    link.connect().unwrap();
+    let report = registry.snapshot();
+    assert_eq!(report.counter("adb.reconnects"), 1);
+    assert_eq!(report.counter("adb.connects"), 2);
+}
+
+#[test]
+fn scheduler_retries_are_counted() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    let mut platform = Platform::paper_testbed(510);
+    let failures_left = Arc::new(AtomicU32::new(2));
+    let counter = Arc::clone(&failures_left);
+    let id = platform
+        .server
+        .submit_job(
+            platform.experimenter_token,
+            "flaky",
+            Constraints {
+                max_retries: 3,
+                ..Default::default()
+            },
+            Payload::Custom(Box::new(move |vp| {
+                if counter
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    return Err("transient bench fault".into());
+                }
+                let now = vp
+                    .device_handle("j7duo-0001")
+                    .map(|d| d.with_sim(|s| s.now()))
+                    .unwrap_or(SimTime::ZERO);
+                Ok(batterylab::server::JobOutcome {
+                    summary: serde_json::json!({"ok": true}),
+                    artifacts: vec![],
+                    finished_at: now,
+                })
+            })),
+        )
+        .unwrap();
+    platform.server.drain();
+    assert_eq!(
+        platform
+            .server
+            .build(platform.experimenter_token, id)
+            .unwrap()
+            .state,
+        BuildState::Succeeded
+    );
+    let report = platform.metrics();
+    assert_eq!(report.counter("scheduler.retries"), 2);
+    assert_eq!(report.counter("scheduler.jobs_succeeded"), 1);
+    assert_eq!(report.counter("scheduler.jobs_failed"), 0);
+}
+
+#[test]
+fn ssh_and_viewer_auth_failures_are_counted() {
+    use batterylab::server::{SshClient, SshServer};
+    use batterylab::telemetry::Registry;
+    let registry = Registry::new();
+    let mut sshd =
+        SshServer::new("hk:node", vec!["fp:trusted".to_string()]).with_telemetry(&registry);
+    let intruder = SshClient::new("fp:intruder");
+    assert!(intruder.connect("node", &mut sshd).is_err());
+    // A wrong noVNC password on a live mirror session, same registry.
+    let mut platform = Platform::paper_testbed(511);
+    let serial = platform.j7_serial().to_string();
+    let vp = platform.node1();
+    vp.device_mirroring(&serial).unwrap();
+    assert!(vp.attach_viewer(&serial, "wrong-password").is_err());
+    assert_eq!(registry.snapshot().counter("ssh.auth_failures"), 1);
+    assert_eq!(platform.metrics().counter("mirror.auth_failures"), 1);
 }
 
 #[test]

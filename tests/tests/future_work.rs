@@ -112,11 +112,7 @@ fn broke_experimenter_is_refused() {
     let mut platform = Platform::paper_testbed(604);
     platform.server.enable_billing();
     // Drain alice's account.
-    platform
-        .server
-        .ledger_mut()
-        .unwrap()
-        .open_account("alice");
+    platform.server.ledger_mut().unwrap().open_account("alice");
     platform
         .server
         .ledger_mut()
