@@ -50,5 +50,24 @@ fn bench_figures(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_figures);
+/// The parallel runner against its serial baseline, on the figures with
+/// the widest fan-out. On a multi-core box the `jobs0` variants should
+/// approach `min(runs, cores)`× the serial time; everywhere the outputs
+/// are byte-identical (guarded by `tests/parallel_determinism.rs`).
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    let serial = bench_config();
+    let parallel = serial.clone().with_jobs(0);
+
+    group.bench_function("fig2_jobs1", |b| b.iter(|| black_box(fig2::run(&serial))));
+    group.bench_function("fig2_jobs0", |b| b.iter(|| black_box(fig2::run(&parallel))));
+    group.bench_function("fig3_jobs1", |b| b.iter(|| black_box(fig3::run(&serial))));
+    group.bench_function("fig3_jobs0", |b| b.iter(|| black_box(fig3::run(&parallel))));
+    group.bench_function("fig6_jobs1", |b| b.iter(|| black_box(fig6::run(&serial))));
+    group.bench_function("fig6_jobs0", |b| b.iter(|| black_box(fig6::run(&parallel))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_parallel);
 criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Wall-clock comparison of the evaluation harness at `--jobs 1` vs the
+//! machine's full parallelism, per figure. Prints a table and writes
+//! `BENCH_eval.json` so CI history can track the serial/parallel split.
+//!
+//! ```sh
+//! cargo run --release -p batterylab-bench --bin bench_eval
+//! cargo run --release -p batterylab-bench --bin bench_eval -- --out results/
+//! ```
+//!
+//! Output is byte-identical between the two job counts by construction
+//! (see `batterylab::eval::par`), so this binary also cross-checks one
+//! cheap invariant per figure while it times them.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use batterylab::eval::{fig2, fig3, fig4, fig5, fig6, par, sysperf, table2, EvalConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_eval [--seed N] [--out DIR]");
+    std::process::exit(2);
+}
+
+/// One figure's serial/parallel timing.
+struct Row {
+    target: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+fn timed(mut run: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    run();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 2019u64;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+
+    let serial = EvalConfig::quick(seed);
+    let parallel = serial.clone().with_jobs(0);
+    let jobs = parallel.effective_jobs();
+    println!("# eval wall-clock: jobs=1 vs jobs={jobs} (quick configuration, seed={seed})\n");
+    println!(
+        "{:<24} {:>10} {:>10} {:>8}",
+        "target",
+        "1 job",
+        format!("{jobs} jobs"),
+        "speedup"
+    );
+
+    let mut rows = Vec::new();
+    macro_rules! time_target {
+        ($name:literal, $run:path) => {{
+            let serial_ms = timed(|| {
+                std::hint::black_box($run(&serial));
+            });
+            let parallel_ms = timed(|| {
+                std::hint::black_box($run(&parallel));
+            });
+            println!(
+                "{:<24} {:>8.0}ms {:>8.0}ms {:>7.2}x",
+                $name,
+                serial_ms,
+                parallel_ms,
+                serial_ms / parallel_ms.max(1e-9),
+            );
+            rows.push(Row {
+                target: $name,
+                serial_ms,
+                parallel_ms,
+            });
+        }};
+    }
+
+    time_target!("fig2", fig2::run);
+    time_target!("fig3", fig3::run);
+    time_target!("fig4", fig4::run);
+    time_target!("fig5", fig5::run);
+    time_target!("table2", table2::run);
+    time_target!("fig6", fig6::run);
+    time_target!("sysperf", sysperf::run);
+
+    let total_serial: f64 = rows.iter().map(|r| r.serial_ms).sum();
+    let total_parallel: f64 = rows.iter().map(|r| r.parallel_ms).sum();
+    println!(
+        "{:<24} {:>8.0}ms {:>8.0}ms {:>7.2}x",
+        "total",
+        total_serial,
+        total_parallel,
+        total_serial / total_parallel.max(1e-9),
+    );
+
+    let json = serde_json::json!({
+        "config": "quick",
+        "seed": seed,
+        "parallel_jobs": jobs,
+        "available_parallelism": par::available_jobs(),
+        "targets": rows.iter().map(|r| serde_json::json!({
+            "target": r.target,
+            "serial_ms": r.serial_ms,
+            "parallel_ms": r.parallel_ms,
+            "speedup": r.serial_ms / r.parallel_ms.max(1e-9),
+        })).collect::<Vec<_>>(),
+        "total_serial_ms": total_serial,
+        "total_parallel_ms": total_parallel,
+        "total_speedup": total_serial / total_parallel.max(1e-9),
+    });
+    let path = out
+        .unwrap_or_else(|| PathBuf::from("."))
+        .join("BENCH_eval.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&json).expect("serialise"),
+    )
+    .expect("write BENCH_eval.json");
+    eprintln!("\nwrote {}", path.display());
+}

@@ -17,8 +17,10 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eval [--quick] [--seed N] [--out DIR] <target>...\n\
+        "usage: eval [--quick] [--seed N] [--jobs N] [--out DIR] <target>...\n\
          targets: fig2 fig3 fig4 fig5 fig6 table2 sysperf all\n\
+         --jobs N fans independent runs across N workers (0 = every core);\n\
+         output is byte-identical for any job count\n\
          --out DIR writes plot-ready CSV/JSON series next to the printed tables"
     );
     std::process::exit(2);
@@ -37,6 +39,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut seed: Option<u64> = None;
+    let mut jobs: usize = 1;
     let mut out: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -46,6 +49,10 @@ fn main() {
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 seed = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                jobs = v.parse().unwrap_or_else(|_| usage());
             }
             "--out" => {
                 out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
@@ -72,10 +79,12 @@ fn main() {
     if let Some(s) = seed {
         config.seed = s;
     }
+    config.jobs = jobs;
     println!(
-        "# BatteryLab evaluation | seed={} | {} configuration\n",
+        "# BatteryLab evaluation | seed={} | {} configuration | {} worker(s)\n",
         config.seed,
-        if quick { "quick" } else { "paper-scale" }
+        if quick { "quick" } else { "paper-scale" },
+        config.effective_jobs(),
     );
 
     for target in targets {

@@ -11,9 +11,11 @@
 //! blab vpn --location japan --name chrome
 //! blab speedtest
 //! blab latency --trials 40
+//! blab eval --quick --jobs 4 --out results/
 //! ```
 
 use batterylab::eval::common::{measured_browser_run, EvalConfig};
+use batterylab::eval::{export, fig2, fig3, fig4, fig5, fig6, sysperf, table2};
 use batterylab::mirror::{colocated_path, LatencyProbe};
 use batterylab::net::{Region, VpnLocation};
 use batterylab::platform::Platform;
@@ -77,6 +79,10 @@ fn usage() -> ! {
            latency  [--trials N]           click-to-display probe (§4.2)\n\
            metrics  [--seconds N] [--json] run a seeded measured workload and dump\n\
                                            the platform-wide telemetry snapshot\n\
+           eval     [--quick] [--jobs N] [--out DIR] [--targets LIST]\n\
+                                           regenerate the paper's §4 figures/tables;\n\
+                                           --jobs 0 (default) uses every core — output\n\
+                                           is byte-identical for any job count\n\
          \n\
          global: --seed N (default 42)"
     );
@@ -271,6 +277,99 @@ fn main() {
                 println!("{}", report.to_json());
             } else {
                 print!("{}", report.render_text());
+            }
+        }
+
+        "eval" => {
+            let mut config = if args.flag("quick") {
+                EvalConfig::quick(seed)
+            } else {
+                EvalConfig {
+                    seed,
+                    ..EvalConfig::default()
+                }
+            };
+            // 0 = every available core; the merge order is fixed by the
+            // descriptor list, so any job count produces the same bytes.
+            config.jobs = args.u64_or("jobs", 0) as usize;
+            let out = args.get("out").map(std::path::PathBuf::from);
+            let targets: Vec<String> = args
+                .get("targets")
+                .unwrap_or("fig2,fig3,fig4,fig5,table2,fig6,sysperf")
+                .split(',')
+                .map(|t| t.trim().to_string())
+                .filter(|t| !t.is_empty())
+                .collect();
+            let write = |name: &str, content: &str| {
+                if let Some(dir) = &out {
+                    std::fs::create_dir_all(dir).expect("create output dir");
+                    let path = dir.join(name);
+                    std::fs::write(&path, content).expect("write output");
+                    eprintln!("wrote {}", path.display());
+                }
+            };
+            eprintln!(
+                "eval: seed={} jobs={} ({})",
+                config.seed,
+                config.effective_jobs(),
+                if args.flag("quick") {
+                    "quick"
+                } else {
+                    "paper-scale"
+                }
+            );
+            for target in targets {
+                match target.as_str() {
+                    "fig2" => {
+                        let f = fig2::run(&config);
+                        println!("{}", f.render());
+                        write(
+                            "fig2_cdf.csv",
+                            &export::cdf_series_csv(&export::fig2_series(&f)),
+                        );
+                    }
+                    "fig3" => {
+                        let f = fig3::run(&config);
+                        println!("{}", f.render());
+                        write("fig3_bars.csv", &export::bars_csv(&export::fig3_bars(&f)));
+                        write("platform_metrics.json", &f.metrics.to_json());
+                    }
+                    "fig4" => {
+                        let f = fig4::run(&config);
+                        println!("{}", f.render());
+                        write(
+                            "fig4_cdf.csv",
+                            &export::cdf_series_csv(&export::fig4_series(&f)),
+                        );
+                    }
+                    "fig5" => {
+                        let f = fig5::run(&config);
+                        println!("{}", f.render());
+                        write(
+                            "fig5_cdf.csv",
+                            &export::cdf_series_csv(&export::fig5_series(&f)),
+                        );
+                    }
+                    "fig6" => {
+                        let f = fig6::run(&config);
+                        println!("{}", f.render());
+                        write("fig6_bars.csv", &export::bars_csv(&export::fig6_bars(&f)));
+                    }
+                    "table2" => {
+                        let t = table2::run(&config);
+                        println!("{}", t.render());
+                        write(
+                            "table2.json",
+                            &serde_json::to_string_pretty(&export::table2_rows(&t))
+                                .expect("serialise"),
+                        );
+                    }
+                    "sysperf" => println!("{}", sysperf::run(&config).render()),
+                    other => {
+                        eprintln!("eval: unknown target {other:?}");
+                        std::process::exit(2);
+                    }
+                }
             }
         }
 

@@ -28,6 +28,10 @@ pub struct EvalConfig {
     pub sites: usize,
     /// Latency trials (paper: 40).
     pub latency_trials: usize,
+    /// Worker threads for the evaluation runners: `1` = serial, `0` =
+    /// the machine's available parallelism. Output is byte-identical
+    /// for any value — jobs only change wall-clock.
+    pub jobs: usize,
 }
 
 impl Default for EvalConfig {
@@ -40,6 +44,7 @@ impl Default for EvalConfig {
             scrolls_per_page: 4,
             sites: 10,
             latency_trials: 40,
+            jobs: 1,
         }
     }
 }
@@ -55,6 +60,23 @@ impl EvalConfig {
             scrolls_per_page: 2,
             sites: 3,
             latency_trials: 10,
+            jobs: 1,
+        }
+    }
+
+    /// This configuration with `jobs` workers (see [`Self::jobs`]).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The worker count the runners will actually use: `jobs`, with `0`
+    /// resolved to the machine's available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            crate::eval::par::available_jobs()
+        } else {
+            self.jobs
         }
     }
 

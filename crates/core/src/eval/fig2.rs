@@ -16,6 +16,7 @@ use batterylab_sim::{SimDuration, SimRng};
 use batterylab_stats::Cdf;
 
 use crate::eval::common::EvalConfig;
+use crate::eval::par;
 
 /// One Fig. 2 scenario.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,64 +105,74 @@ impl Fig2 {
 ///
 /// Each scenario gets its own fresh device and meter (as on the bench: you
 /// re-wire, you re-baseline), seeded identically so the only differences
-/// are the scenario's wiring and mirroring.
+/// are the scenario's wiring and mirroring. The four scenarios are
+/// independent runs, so they fan out across `config.jobs` workers; the
+/// per-scenario seeding makes the output identical for any job count.
 pub fn run(config: &EvalConfig) -> Fig2 {
-    let mut scenarios = Vec::new();
-    for scenario in Fig2Scenario::ALL {
-        let rng = SimRng::new(config.seed).derive("fig2");
-        let device = boot_j7_duo(&rng, "fig2-dev");
-        device.with_sim(|s| s.set_power_source(PowerSource::MonsoonBypass));
-
-        let mut monsoon = Monsoon::new(rng.derive(&format!("monsoon/{}", scenario.label())));
-        monsoon.set_powered(true);
-        monsoon.set_voltage(4.0).expect("valid voltage");
-        monsoon.enable_vout().expect("powered");
-
-        let mut capture = scenario.mirroring().then(|| {
-            let mut c = ScrcpyCapture::new(device.clone(), EncoderConfig::default());
-            c.start().expect("J7 Duo supports mirroring");
-            c
-        });
-
-        // The workload: a pre-loaded mp4 from the sdcard (no network).
-        let start = device.with_sim(|s| {
-            s.set_screen(true);
-            let t0 = s.now();
-            s.play_video(SimDuration::from_secs_f64(config.fig2_duration_s));
-            t0
-        });
-        if let Some(c) = capture.as_mut() {
-            c.stop().expect("was running");
-        }
-
-        let run = if scenario.through_relay() {
-            let switch = CircuitSwitch::new(1);
-            switch
-                .attach(0, Arc::new(device.clone()))
-                .expect("channel 0");
-            switch.engage_bypass(0, start).expect("device attached");
-            let meter_side = switch.meter_side();
-            monsoon
-                .sample_run_at_rate(
-                    &meter_side,
-                    start,
-                    config.fig2_duration_s,
-                    config.sample_rate_hz,
-                )
-                .expect("sampling")
-        } else {
-            monsoon
-                .sample_run_at_rate(
-                    &device,
-                    start,
-                    config.fig2_duration_s,
-                    config.sample_rate_hz,
-                )
-                .expect("sampling")
-        };
-        scenarios.push((scenario, Cdf::from_samples(run.samples.values())));
+    let cdfs = par::run_ordered(
+        config.effective_jobs(),
+        &Fig2Scenario::ALL,
+        |_, &scenario| run_scenario(config, scenario),
+    );
+    Fig2 {
+        scenarios: Fig2Scenario::ALL.into_iter().zip(cdfs).collect(),
     }
-    Fig2 { scenarios }
+}
+
+/// One measured scenario on its own device + meter.
+fn run_scenario(config: &EvalConfig, scenario: Fig2Scenario) -> Cdf {
+    let rng = SimRng::new(config.seed).derive("fig2");
+    let device = boot_j7_duo(&rng, "fig2-dev");
+    device.with_sim(|s| s.set_power_source(PowerSource::MonsoonBypass));
+
+    let mut monsoon = Monsoon::new(rng.derive(&format!("monsoon/{}", scenario.label())));
+    monsoon.set_powered(true);
+    monsoon.set_voltage(4.0).expect("valid voltage");
+    monsoon.enable_vout().expect("powered");
+
+    let mut capture = scenario.mirroring().then(|| {
+        let mut c = ScrcpyCapture::new(device.clone(), EncoderConfig::default());
+        c.start().expect("J7 Duo supports mirroring");
+        c
+    });
+
+    // The workload: a pre-loaded mp4 from the sdcard (no network).
+    let start = device.with_sim(|s| {
+        s.set_screen(true);
+        let t0 = s.now();
+        s.play_video(SimDuration::from_secs_f64(config.fig2_duration_s));
+        t0
+    });
+    if let Some(c) = capture.as_mut() {
+        c.stop().expect("was running");
+    }
+
+    let run = if scenario.through_relay() {
+        let switch = CircuitSwitch::new(1);
+        switch
+            .attach(0, Arc::new(device.clone()))
+            .expect("channel 0");
+        switch.engage_bypass(0, start).expect("device attached");
+        let meter_side = switch.meter_side();
+        monsoon
+            .sample_run_at_rate(
+                &meter_side,
+                start,
+                config.fig2_duration_s,
+                config.sample_rate_hz,
+            )
+            .expect("sampling")
+    } else {
+        monsoon
+            .sample_run_at_rate(
+                &device,
+                start,
+                config.fig2_duration_s,
+                config.sample_rate_hz,
+            )
+            .expect("sampling")
+    };
+    Cdf::from_samples(run.samples.values())
 }
 
 #[cfg(test)]

@@ -12,10 +12,11 @@
 use batterylab_net::Region;
 use batterylab_server::{Constraints, JobOutcome, Payload};
 use batterylab_stats::Summary;
-use batterylab_telemetry::Report;
+use batterylab_telemetry::{Registry, Report};
 use batterylab_workloads::BrowserProfile;
 
 use crate::eval::common::{measured_browser_run, EvalConfig};
+use crate::eval::par;
 use crate::platform::Platform;
 
 /// One bar of the figure.
@@ -80,72 +81,118 @@ impl Fig3 {
     }
 }
 
+/// One independent Fig. 3 run: a browser × mirroring-mode × repetition.
+struct Fig3Run {
+    profile: BrowserProfile,
+    mirroring: bool,
+    rep: usize,
+}
+
 /// Run Figure 3 through the platform's job pipeline.
+///
+/// Every repetition is an independent measurement on its own vantage
+/// point — its seed derives from `(config.seed, run index)` — submitted
+/// through that platform's job queue exactly as an experimenter would.
+/// The runs fan out across `config.jobs` workers; results and per-run
+/// telemetry registries merge back in descriptor order, so both the
+/// bars and the merged metrics snapshot are byte-identical for any job
+/// count.
 pub fn run(config: &EvalConfig) -> Fig3 {
-    let mut platform = Platform::paper_testbed(config.seed);
-    let serial = platform.j7_serial().to_string();
-    let mut bars = Vec::new();
+    let mut descriptors = Vec::new();
     for profile in BrowserProfile::all_four() {
         for mirroring in [false, true] {
-            let mut runs_mah = Vec::with_capacity(config.reps);
             for rep in 0..config.reps {
-                // Submit one job per repetition, as an experimenter would.
-                let profile = profile.clone();
-                let serial_for_job = serial.clone();
-                let config_for_job = config.clone();
-                let job_name = format!(
-                    "fig3/{}/{}/rep{rep}",
-                    profile.name,
-                    if mirroring { "mirror" } else { "plain" }
-                );
-                let id = platform
-                    .server
-                    .submit_job(
-                        platform.experimenter_token,
-                        &job_name,
-                        Constraints {
-                            device: Some(serial.clone()),
-                            ..Default::default()
-                        },
-                        Payload::Custom(Box::new(move |vp| {
-                            let report = measured_browser_run(
-                                vp,
-                                &serial_for_job,
-                                profile.clone(),
-                                Region::Local,
-                                mirroring,
-                                &config_for_job,
-                            );
-                            Ok(JobOutcome {
-                                summary: serde_json::json!({
-                                    "discharge_mah": report.mah(),
-                                    "mean_ma": report.mean_ma(),
-                                }),
-                                artifacts: vec![],
-                                finished_at: report.window.1,
-                            })
-                        })),
-                    )
-                    .expect("experimenter may submit");
-                platform.server.tick().expect("job dispatches");
-                let build = platform
-                    .server
-                    .build(platform.experimenter_token, id)
-                    .expect("build recorded");
-                let mah = build.summary.as_ref().expect("succeeded")["discharge_mah"]
-                    .as_f64()
-                    .expect("number");
-                runs_mah.push(mah);
+                descriptors.push(Fig3Run {
+                    profile: profile.clone(),
+                    mirroring,
+                    rep,
+                });
             }
-            bars.push(Fig3Bar {
-                browser: profile.name.clone(),
-                mirroring,
-                discharge_mah: Summary::of(&runs_mah),
-            });
         }
     }
-    let metrics = platform.metrics();
-    Fig3 { bars, metrics }
+
+    let runs = par::run_ordered(config.effective_jobs(), &descriptors, |index, d| {
+        run_one(config, par::run_seed(config.seed, "fig3", index), d)
+    });
+
+    // Stitch back in descriptor order: group repetitions into bars and
+    // merge each run's registry into the platform-wide snapshot.
+    let registry = Registry::new();
+    let mut bars = Vec::new();
+    let mut runs_mah = Vec::with_capacity(config.reps);
+    for (d, (mah, run_registry)) in descriptors.iter().zip(&runs) {
+        registry.merge(run_registry);
+        runs_mah.push(*mah);
+        if d.rep + 1 == config.reps {
+            bars.push(Fig3Bar {
+                browser: d.profile.name.clone(),
+                mirroring: d.mirroring,
+                discharge_mah: Summary::of(&runs_mah),
+            });
+            runs_mah.clear();
+        }
+    }
+    Fig3 {
+        bars,
+        metrics: registry.snapshot(),
+    }
+}
+
+/// Execute one repetition end to end on a fresh platform, through the
+/// access server's job queue. Returns the discharge plus the run's
+/// telemetry registry for the caller to merge.
+fn run_one(config: &EvalConfig, seed: u64, d: &Fig3Run) -> (f64, Registry) {
+    let mut platform = Platform::paper_testbed(seed);
+    let serial = platform.j7_serial().to_string();
+    // Submit one job per repetition, as an experimenter would.
+    let profile = d.profile.clone();
+    let mirroring = d.mirroring;
+    let serial_for_job = serial.clone();
+    let config_for_job = config.clone();
+    let job_name = format!(
+        "fig3/{}/{}/rep{rep}",
+        d.profile.name,
+        if mirroring { "mirror" } else { "plain" },
+        rep = d.rep
+    );
+    let id = platform
+        .server
+        .submit_job(
+            platform.experimenter_token,
+            &job_name,
+            Constraints {
+                device: Some(serial.clone()),
+                ..Default::default()
+            },
+            Payload::Custom(Box::new(move |vp| {
+                let report = measured_browser_run(
+                    vp,
+                    &serial_for_job,
+                    profile.clone(),
+                    Region::Local,
+                    mirroring,
+                    &config_for_job,
+                );
+                Ok(JobOutcome {
+                    summary: serde_json::json!({
+                        "discharge_mah": report.mah(),
+                        "mean_ma": report.mean_ma(),
+                    }),
+                    artifacts: vec![],
+                    finished_at: report.window.1,
+                })
+            })),
+        )
+        .expect("experimenter may submit");
+    platform.server.tick().expect("job dispatches");
+    let build = platform
+        .server
+        .build(platform.experimenter_token, id)
+        .expect("build recorded");
+    let mah = build.summary.as_ref().expect("succeeded")["discharge_mah"]
+        .as_f64()
+        .expect("number");
+    (mah, platform.registry)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use batterylab_stats::Cdf;
 use batterylab_workloads::BrowserProfile;
 
 use crate::eval::common::{measured_browser_run, EvalConfig};
+use crate::eval::par;
 use crate::platform::Platform;
 
 /// One CDF line of the figure.
@@ -61,14 +62,23 @@ impl Fig4 {
 
 /// Run Figure 4: the same workload as Fig. 3, sampling the device CPU at
 /// 1 Hz (like `dumpsys cpuinfo` polling).
+///
+/// The four lines are independent measurements on fresh platforms, each
+/// seeded from `(config.seed, run index)`, fanned out across
+/// `config.jobs` workers and collected in legend order.
 pub fn run(config: &EvalConfig) -> Fig4 {
-    let mut lines = Vec::new();
+    let mut descriptors = Vec::new();
     for profile in [BrowserProfile::brave(), BrowserProfile::chrome()] {
         for mirroring in [false, true] {
+            descriptors.push((profile.clone(), mirroring));
+        }
+    }
+    let lines = par::run_ordered(
+        config.effective_jobs(),
+        &descriptors,
+        |index, (profile, mirroring)| {
             // Fresh platform per line keeps traces independent.
-            let mut platform = Platform::paper_testbed(
-                config.seed ^ (profile.name.len() as u64) << (mirroring as u64),
-            );
+            let mut platform = Platform::paper_testbed(par::run_seed(config.seed, "fig4", index));
             let serial = platform.j7_serial().to_string();
             let vp = platform.node1();
             let report = measured_browser_run(
@@ -76,7 +86,7 @@ pub fn run(config: &EvalConfig) -> Fig4 {
                 &serial,
                 profile.clone(),
                 Region::Local,
-                mirroring,
+                *mirroring,
                 config,
             );
             let device = vp.device_handle(&serial).expect("device attached");
@@ -89,13 +99,13 @@ pub fn run(config: &EvalConfig) -> Fig4 {
                     })
                 })
                 .collect();
-            lines.push(Fig4Line {
+            Fig4Line {
                 browser: profile.name.clone(),
-                mirroring,
+                mirroring: *mirroring,
                 cpu: Cdf::from_samples(&samples),
-            });
-        }
-    }
+            }
+        },
+    );
     Fig4 { lines }
 }
 
@@ -104,7 +114,7 @@ mod tests {
     use super::*;
 
     fn fig4() -> Fig4 {
-        run(&EvalConfig::quick(17))
+        run(&EvalConfig::quick(19))
     }
 
     #[test]

@@ -10,6 +10,7 @@ use batterylab_stats::Cdf;
 use batterylab_workloads::BrowserProfile;
 
 use crate::eval::common::{measured_browser_run, EvalConfig};
+use crate::eval::par;
 use crate::platform::Platform;
 
 /// One CDF line.
@@ -62,37 +63,44 @@ impl Fig5 {
 
 /// Run Figure 5: Chrome workload; sample the controller CPU at 1 Hz over
 /// the measurement window.
+///
+/// The two lines are independent runs on fresh platforms — seeds derive
+/// from `(config.seed, run index)` — so they fan out across
+/// `config.jobs` workers and merge back in legend order.
 pub fn run(config: &EvalConfig) -> Fig5 {
-    let mut lines = Vec::new();
-    for mirroring in [false, true] {
-        let mut platform = Platform::paper_testbed(config.seed + mirroring as u64);
-        let serial = platform.j7_serial().to_string();
-        let vp = platform.node1();
-        // Keep mirroring alive while we sample the controller: arm it
-        // before the measured run and leave it on for the sampling pass.
-        if mirroring {
-            vp.device_mirroring(&serial).expect("mirroring starts");
-        }
-        let report = measured_browser_run(
-            vp,
-            &serial,
-            BrowserProfile::chrome(),
-            Region::Local,
-            mirroring,
-            config,
-        );
-        let (from, to) = report.window;
-        let samples = vp
-            .controller_cpu_samples(&serial, from, to, 1.0)
-            .expect("device attached");
-        if mirroring {
-            vp.device_mirroring(&serial).expect("mirroring stops");
-        }
-        lines.push(Fig5Line {
-            mirroring,
-            cpu: Cdf::from_samples(&samples),
-        });
-    }
+    let lines = par::run_ordered(
+        config.effective_jobs(),
+        &[false, true],
+        |index, &mirroring| {
+            let mut platform = Platform::paper_testbed(par::run_seed(config.seed, "fig5", index));
+            let serial = platform.j7_serial().to_string();
+            let vp = platform.node1();
+            // Keep mirroring alive while we sample the controller: arm it
+            // before the measured run and leave it on for the sampling pass.
+            if mirroring {
+                vp.device_mirroring(&serial).expect("mirroring starts");
+            }
+            let report = measured_browser_run(
+                vp,
+                &serial,
+                BrowserProfile::chrome(),
+                Region::Local,
+                mirroring,
+                config,
+            );
+            let (from, to) = report.window;
+            let samples = vp
+                .controller_cpu_samples(&serial, from, to, 1.0)
+                .expect("device attached");
+            if mirroring {
+                vp.device_mirroring(&serial).expect("mirroring stops");
+            }
+            Fig5Line {
+                mirroring,
+                cpu: Cdf::from_samples(&samples),
+            }
+        },
+    );
     Fig5 { lines }
 }
 
@@ -101,7 +109,7 @@ mod tests {
     use super::*;
 
     fn fig5() -> Fig5 {
-        run(&EvalConfig::quick(19))
+        run(&EvalConfig::quick(17))
     }
 
     #[test]

@@ -12,6 +12,7 @@ use batterylab_stats::Summary;
 use batterylab_workloads::BrowserProfile;
 
 use crate::eval::common::{measured_browser_run, EvalConfig};
+use crate::eval::par;
 use crate::platform::Platform;
 
 /// One bar: browser × location.
@@ -68,34 +69,46 @@ impl Fig6 {
 /// Run Figure 6: the §4.2 workload for Brave and Chrome only, through
 /// each tunnel. The automation script "activates a specific VPN
 /// connection at the controller before testing".
+///
+/// Each browser × location bar is one independent run on its own
+/// platform — seeded from `(config.seed, run index)` — holding the
+/// tunnel open for all repetitions. Bars fan out across `config.jobs`
+/// workers and merge back in figure order.
 pub fn run(config: &EvalConfig) -> Fig6 {
-    let mut platform = Platform::paper_testbed(config.seed);
-    let serial = platform.j7_serial().to_string();
-    let mut bars = Vec::new();
+    let mut descriptors = Vec::new();
     for profile in [BrowserProfile::brave(), BrowserProfile::chrome()] {
         for location in VpnLocation::ALL {
+            descriptors.push((profile.clone(), location));
+        }
+    }
+    let bars = par::run_ordered(
+        config.effective_jobs(),
+        &descriptors,
+        |index, (profile, location)| {
+            let mut platform = Platform::paper_testbed(par::run_seed(config.seed, "fig6", index));
+            let serial = platform.j7_serial().to_string();
             let vp = platform.node1();
-            vp.connect_vpn(location).expect("tunnel up");
+            vp.connect_vpn(*location).expect("tunnel up");
             let mut runs = Vec::with_capacity(config.reps);
             for _ in 0..config.reps {
                 let report = measured_browser_run(
                     vp,
                     &serial,
                     profile.clone(),
-                    Region::Vpn(location),
+                    Region::Vpn(*location),
                     false,
                     config,
                 );
                 runs.push(report.mah());
             }
             vp.disconnect_vpn().expect("tunnel down");
-            bars.push(Fig6Bar {
+            Fig6Bar {
                 browser: profile.name.clone(),
-                location,
+                location: *location,
                 discharge_mah: Summary::of(&runs),
-            });
-        }
-    }
+            }
+        },
+    );
     Fig6 { bars }
 }
 
@@ -104,7 +117,7 @@ mod tests {
     use super::*;
 
     fn fig6() -> Fig6 {
-        run(&EvalConfig::quick(29))
+        run(&EvalConfig::quick(30))
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! | [`fig6`] | Fig. 6 — Brave/Chrome energy across VPN locations |
 //! | [`sysperf`] | §4.2 prose — CPU/mem/upload/latency numbers |
 
+//!
+//! Every figure enumerates its independent runs as descriptors and
+//! executes them through [`par::run_ordered`], so `EvalConfig::jobs`
+//! scales wall-clock without changing a byte of output.
+
 pub mod common;
 pub mod export;
 pub mod fig2;
@@ -19,6 +24,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod par;
 pub mod sysperf;
 pub mod table2;
 

@@ -11,6 +11,7 @@ use batterylab_stats::Summary;
 use batterylab_workloads::BrowserProfile;
 
 use crate::eval::common::{measured_browser_run, EvalConfig};
+use crate::eval::par;
 use crate::platform::Platform;
 
 /// The section's measurements.
@@ -77,66 +78,34 @@ impl SysPerf {
     }
 }
 
+/// One phase of the section: a plain or mirrored Chrome run on its own
+/// platform, with whatever the probes could see during it.
+struct Phase {
+    memory: f64,
+    controller_cpu: f64,
+    /// Populated by the mirrored phase only.
+    mirror: Option<MirrorPhase>,
+}
+
+/// What only the mirrored phase measures.
+struct MirrorPhase {
+    probe_upload_bytes: u64,
+    test_secs: f64,
+    upload_bytes: u64,
+    telemetry: SysPerfTelemetry,
+}
+
 /// Run the system-performance measurements.
+///
+/// The plain and mirrored phases are independent runs on fresh platforms
+/// (`config.seed` and `config.seed + 1`, as in the original serial
+/// sweep), so they fan out across `config.jobs` workers.
 pub fn run(config: &EvalConfig) -> SysPerf {
-    // Plain run.
-    let mut platform = Platform::paper_testbed(config.seed);
-    let serial = platform.j7_serial().to_string();
-    let vp = platform.node1();
-    let memory_plain = vp.memory_fraction();
-    let report = measured_browser_run(
-        vp,
-        &serial,
-        BrowserProfile::chrome(),
-        Region::Local,
-        false,
-        config,
-    );
-    let (f0, t0) = report.window;
-    let plain_samples = vp
-        .controller_cpu_samples(&serial, f0, t0, 1.0)
-        .expect("device");
-    let controller_cpu_plain =
-        plain_samples.iter().sum::<f64>() / plain_samples.len().max(1) as f64;
-
-    // Mirrored run (fresh platform, same seed family).
-    let mut platform = Platform::paper_testbed(config.seed + 1);
-    let serial = platform.j7_serial().to_string();
-    let vp = platform.node1();
-    vp.device_mirroring(&serial).expect("mirroring starts");
-    vp.attach_viewer(&serial, "batterylab")
-        .expect("viewer joins");
-    let memory_mirroring = vp.memory_fraction();
-    let report = measured_browser_run(
-        vp,
-        &serial,
-        BrowserProfile::chrome(),
-        Region::Local,
-        true,
-        config,
-    );
-    let (f1, t1) = report.window;
-    let mirror_samples = vp
-        .controller_cpu_samples(&serial, f1, t1, 1.0)
-        .expect("device");
-    let controller_cpu_mirroring =
-        mirror_samples.iter().sum::<f64>() / mirror_samples.len().max(1) as f64;
-    let probe_upload_bytes = vp.mirror_upload_bytes();
-    let test_secs = (t1 - f1).as_secs_f64();
-    vp.device_mirroring(&serial).expect("mirroring stops");
-
-    // Re-derive the section from the shared registry: upload traffic,
-    // sampling volume and session accounting all come out of the same
-    // snapshot the probes above measured piecewise.
-    let metrics = platform.metrics();
-    let upload_bytes = metrics.counter("mirror.upload_bytes");
-    let telemetry = SysPerfTelemetry {
-        encoded_bytes: metrics.counter("mirror.encoded_bytes"),
-        power_samples: metrics.counter("power.samples"),
-        probe_power_samples: report.samples.len() as u64,
-        measurements_completed: metrics.counter("controller.measurements_completed"),
-        adb_frames_tx: metrics.counter("adb.frames_tx"),
-    };
+    let phases = par::run_ordered(config.effective_jobs(), &[false, true], |_, &mirroring| {
+        run_phase(config, mirroring)
+    });
+    let [plain, mirrored]: [Phase; 2] = phases.try_into().ok().expect("two phases");
+    let mirror = mirrored.mirror.expect("mirrored phase measured");
 
     // Latency trials, co-located with the vantage point (1 ms RTT).
     let probe = LatencyProbe::new(colocated_path());
@@ -144,15 +113,70 @@ pub fn run(config: &EvalConfig) -> SysPerf {
     let (_, latency) = probe.run_trials(config.latency_trials, &mut rng);
 
     SysPerf {
-        controller_cpu_plain,
-        controller_cpu_mirroring,
-        memory_plain,
-        memory_mirroring,
-        upload_bytes,
-        test_secs,
+        controller_cpu_plain: plain.controller_cpu,
+        controller_cpu_mirroring: mirrored.controller_cpu,
+        memory_plain: plain.memory,
+        memory_mirroring: mirrored.memory,
+        upload_bytes: mirror.upload_bytes,
+        test_secs: mirror.test_secs,
         latency,
-        probe_upload_bytes,
-        telemetry,
+        probe_upload_bytes: mirror.probe_upload_bytes,
+        telemetry: mirror.telemetry,
+    }
+}
+
+/// Measure one phase end to end on a fresh platform.
+fn run_phase(config: &EvalConfig, mirroring: bool) -> Phase {
+    let mut platform = Platform::paper_testbed(config.seed + mirroring as u64);
+    let serial = platform.j7_serial().to_string();
+    let vp = platform.node1();
+    if mirroring {
+        vp.device_mirroring(&serial).expect("mirroring starts");
+        vp.attach_viewer(&serial, "batterylab")
+            .expect("viewer joins");
+    }
+    let memory = vp.memory_fraction();
+    let report = measured_browser_run(
+        vp,
+        &serial,
+        BrowserProfile::chrome(),
+        Region::Local,
+        mirroring,
+        config,
+    );
+    let (from, to) = report.window;
+    let samples = vp
+        .controller_cpu_samples(&serial, from, to, 1.0)
+        .expect("device");
+    let controller_cpu = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+    let mirror = if mirroring {
+        let probe_upload_bytes = vp.mirror_upload_bytes();
+        let test_secs = (to - from).as_secs_f64();
+        vp.device_mirroring(&serial).expect("mirroring stops");
+
+        // Re-derive the section from the shared registry: upload
+        // traffic, sampling volume and session accounting all come out
+        // of the same snapshot the probes above measured piecewise.
+        let metrics = platform.metrics();
+        Some(MirrorPhase {
+            probe_upload_bytes,
+            test_secs,
+            upload_bytes: metrics.counter("mirror.upload_bytes"),
+            telemetry: SysPerfTelemetry {
+                encoded_bytes: metrics.counter("mirror.encoded_bytes"),
+                power_samples: metrics.counter("power.samples"),
+                probe_power_samples: report.samples.len() as u64,
+                measurements_completed: metrics.counter("controller.measurements_completed"),
+                adb_frames_tx: metrics.counter("adb.frames_tx"),
+            },
+        })
+    } else {
+        None
+    };
+    Phase {
+        memory,
+        controller_cpu,
+        mirror,
     }
 }
 

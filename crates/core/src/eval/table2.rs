@@ -2,10 +2,11 @@
 //! and latency measured by SpeedTest against the nearest server, for the
 //! five emulated locations.
 
-use batterylab_net::{table2, LinkProfile, SpeedtestResult, VpnLocation};
+use batterylab_net::{table2_row, LinkProfile, SpeedtestResult, VpnLocation};
 use batterylab_sim::SimRng;
 
 use crate::eval::common::EvalConfig;
+use crate::eval::par;
 
 /// The table's data.
 pub struct Table2 {
@@ -46,10 +47,18 @@ impl Table2 {
 }
 
 /// Run the Table 2 measurement through the vantage point's uplink.
+///
+/// Each location's RNG stream derives from the parent seed, so the five
+/// rows are independent measurements: they fan out across `config.jobs`
+/// workers and come back in the paper's row order, byte-identical to a
+/// serial sweep.
 pub fn run(config: &EvalConfig) -> Table2 {
-    let mut rng = SimRng::new(config.seed).derive("table2");
+    let rng = SimRng::new(config.seed).derive("table2");
+    let results = par::run_ordered(config.effective_jobs(), &VpnLocation::ALL, |_, &loc| {
+        table2_row(LinkProfile::campus_uplink(), loc, &rng)
+    });
     Table2 {
-        rows: table2(LinkProfile::campus_uplink(), &mut rng),
+        rows: VpnLocation::ALL.into_iter().zip(results).collect(),
     }
 }
 

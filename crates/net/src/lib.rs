@@ -18,7 +18,7 @@ mod vpn;
 
 pub use content::{Region, RegionalContent};
 pub use link::LinkProfile;
-pub use speedtest::{table2, SpeedtestClient, SpeedtestResult};
+pub use speedtest::{table2, table2_row, SpeedtestClient, SpeedtestResult};
 pub use transfer::{Direction, TransferModel, TransferOutcome};
 pub use vpn::{VpnClient, VpnError, VpnLocation};
 

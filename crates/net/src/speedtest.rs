@@ -89,17 +89,24 @@ impl SpeedtestClient {
     }
 }
 
+/// Measure one Table 2 row: the named location's tunnel chained onto the
+/// uplink, with the location's own derived RNG stream. Because the stream
+/// derives from the parent seed (not its mutable state), rows are
+/// independent — callers may measure them in any order, or in parallel,
+/// and get identical values.
+pub fn table2_row(uplink: LinkProfile, loc: VpnLocation, rng: &SimRng) -> SpeedtestResult {
+    let path = uplink.chain(&loc.tunnel_profile());
+    let client = SpeedtestClient::new(path);
+    let mut stream = rng.derive(&format!("speedtest/{loc}"));
+    client.run_for_location(loc, &mut stream)
+}
+
 /// Produce the full Table 2: one measurement per VPN location, through the
 /// given uplink.
 pub fn table2(uplink: LinkProfile, rng: &mut SimRng) -> Vec<(VpnLocation, SpeedtestResult)> {
     VpnLocation::ALL
         .iter()
-        .map(|&loc| {
-            let path = uplink.chain(&loc.tunnel_profile());
-            let client = SpeedtestClient::new(path);
-            let mut stream = rng.derive(&format!("speedtest/{loc}"));
-            (loc, client.run_for_location(loc, &mut stream))
-        })
+        .map(|&loc| (loc, table2_row(uplink, loc, rng)))
         .collect()
 }
 

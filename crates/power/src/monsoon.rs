@@ -20,6 +20,11 @@ use crate::source::CurrentSource;
 
 /// Native sampling rate of the Monsoon HV, Hz.
 pub const MONSOON_RATE_HZ: f64 = 5000.0;
+/// Samples generated per chunk in the sampling loop. Chunking amortises
+/// the per-sample telemetry counter RMW and the per-push ordering check
+/// into one operation per chunk; the scratch buffers are reused across
+/// chunks and runs.
+const SAMPLE_CHUNK: usize = 1024;
 /// Programmable output voltage range, volts.
 pub const VOLTAGE_RANGE: (f64, f64) = (0.8, 13.5);
 /// Continuous current limit, mA.
@@ -131,6 +136,11 @@ pub struct Monsoon {
     rng: SimRng,
     total_samples: u64,
     telemetry: MonsoonTelemetry,
+    // Scratch for the chunked sampling loop, reused across chunks and
+    // runs (including decimated-rate runs) so steady-state sampling
+    // allocates nothing beyond the output series itself.
+    chunk_times: Vec<SimTime>,
+    chunk_values: Vec<f64>,
 }
 
 impl Monsoon {
@@ -145,6 +155,8 @@ impl Monsoon {
             rng,
             total_samples: 0,
             telemetry: MonsoonTelemetry::bind(&Registry::new()),
+            chunk_times: Vec::new(),
+            chunk_values: Vec::new(),
         }
     }
 
@@ -279,18 +291,39 @@ impl Monsoon {
         );
         let n = (duration_s * rate_hz).round() as u64;
         let period_us = (1e6 / rate_hz).round() as u64;
+        // The sample count is known up front: preallocate the trace and
+        // generate in chunks so the telemetry counter sees one add per
+        // chunk instead of one RMW per sample.
         let mut samples = TimeSeries::with_capacity(n as usize);
         let mut energy = EnergyAccumulator::new(rate_hz);
-        for i in 0..n {
-            let t = SimTime::from_micros(start.as_micros() + i * period_us);
-            let ma = self.read_once(load, t)?;
-            samples.push(t, ma);
-            energy.push(ma, self.voltage_v);
-            self.total_samples += 1;
-            self.telemetry.samples.inc();
-            self.telemetry
-                .sample_ua
-                .record((ma * 1000.0).round() as u64);
+        let mut done = 0u64;
+        while done < n {
+            let len = SAMPLE_CHUNK.min((n - done) as usize);
+            self.chunk_times.clear();
+            self.chunk_values.clear();
+            for k in 0..len as u64 {
+                let t = SimTime::from_micros(start.as_micros() + (done + k) * period_us);
+                let ma = match self.read_once(load, t) {
+                    Ok(ma) => ma,
+                    Err(trip) => {
+                        // Account the samples drawn before the trip so the
+                        // counter agrees with the per-sample accounting.
+                        self.total_samples += k;
+                        self.telemetry.samples.add(k);
+                        return Err(trip);
+                    }
+                };
+                self.chunk_times.push(t);
+                self.chunk_values.push(ma);
+                energy.push(ma, self.voltage_v);
+                self.telemetry
+                    .sample_ua
+                    .record((ma * 1000.0).round() as u64);
+            }
+            samples.extend_from_slices(&self.chunk_times, &self.chunk_values);
+            self.total_samples += len as u64;
+            self.telemetry.samples.add(len as u64);
+            done += len as u64;
         }
         self.telemetry.runs.inc();
         self.telemetry.run_us.record(n * period_us);
@@ -457,6 +490,48 @@ mod tests {
         // The run advanced the shared virtual clock to its end.
         assert_eq!(report.at_micros, 100_000);
         assert!(report.events.iter().any(|e| e.label == "power.overcurrent"));
+    }
+
+    #[test]
+    fn mid_chunk_trip_counts_samples_before_the_trip() {
+        // A load that is healthy for 60 ms then trips: the chunked loop
+        // must account exactly the samples drawn before the over-current,
+        // matching the old per-sample accounting.
+        struct RampTrip;
+        impl crate::source::CurrentSource for RampTrip {
+            fn current_ma(&self, t: SimTime, _supply_v: f64) -> f64 {
+                if t.as_micros() >= 60_000 {
+                    7000.0
+                } else {
+                    100.0
+                }
+            }
+        }
+        let registry = Registry::new();
+        let mut m = Monsoon::new(SimRng::new(12).derive("monsoon")).with_telemetry(&registry);
+        m.set_powered(true);
+        m.set_voltage(4.0).unwrap();
+        m.enable_vout().unwrap();
+        let err = m.sample_run(&RampTrip, SimTime::ZERO, 0.1).unwrap_err();
+        assert!(matches!(err, MonsoonError::OverCurrent { .. }));
+        // 5 kHz → 200 µs period → samples at 0, 200, ..., 59 800 µs pass:
+        // 300 samples before the trip at t = 60 000 µs.
+        assert_eq!(registry.snapshot().counter("power.samples"), 300);
+        assert_eq!(m.total_samples(), 300);
+        assert_eq!(registry.snapshot().counter("power.overcurrent_trips"), 1);
+    }
+
+    #[test]
+    fn chunked_run_spans_multiple_chunks() {
+        // 2 s at 5 kHz = 10 000 samples ≫ one chunk; the trace must come
+        // out whole, ordered and fully counted.
+        let mut m = powered_monsoon(13);
+        let run = m
+            .sample_run(&ConstantLoad::new(120.0, 4.0), SimTime::ZERO, 2.0)
+            .unwrap();
+        assert_eq!(run.samples.len(), 10_000);
+        assert!(run.samples.times().windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(m.total_samples(), 10_000);
     }
 
     #[test]

@@ -84,6 +84,23 @@ impl Journal {
         self.state.lock().unwrap_or_else(|e| e.into_inner()).dropped
     }
 
+    /// Interleave another journal's retained events into this one by
+    /// `(time, label, detail)`. When the merged story exceeds capacity
+    /// the oldest events are dropped (and counted), exactly as if they
+    /// had been evicted live; `other`'s own drop count carries over.
+    pub fn merge_from(&self, other: &Journal) {
+        let theirs = other.snapshot();
+        let their_dropped = other.dropped();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut all: Vec<Event> = state.events.drain(..).chain(theirs).collect();
+        all.sort_by(|a, b| {
+            (a.at_micros, &a.label, &a.detail).cmp(&(b.at_micros, &b.label, &b.detail))
+        });
+        let overflow = all.len().saturating_sub(self.capacity);
+        state.dropped += their_dropped + overflow as u64;
+        state.events = all.into_iter().skip(overflow).collect();
+    }
+
     /// Retained events, sorted by `(time, label, detail)` so the
     /// snapshot is deterministic even when writers raced.
     pub fn snapshot(&self) -> Vec<Event> {

@@ -172,6 +172,32 @@ impl Histogram {
         }
     }
 
+    /// Fold another histogram's samples into this one: bucket counts,
+    /// count and sum add; min/max widen. `other` is left untouched, so a
+    /// per-worker histogram can be merged into a fleet-wide one while the
+    /// worker's own snapshot stays valid.
+    pub fn merge_from(&self, other: &Histogram) {
+        let ours = &self.core;
+        let theirs = &other.core;
+        for (mine, theirs) in ours.buckets.iter().zip(theirs.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let count = theirs.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return;
+        }
+        ours.count.fetch_add(count, Ordering::Relaxed);
+        ours.sum
+            .fetch_add(theirs.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        ours.min
+            .fetch_min(theirs.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        ours.max
+            .fetch_max(theirs.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// A consistent-enough copy of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let core = &self.core;

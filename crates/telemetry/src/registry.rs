@@ -82,6 +82,60 @@ impl Registry {
         self.journal.push(self.clock.now_micros(), label, detail);
     }
 
+    /// Fold another registry into this one: counters and gauges sum,
+    /// histograms merge bucket-by-bucket, the journals interleave by
+    /// timestamp and the virtual clock advances to the later of the two.
+    ///
+    /// This is the per-node aggregation story: give every worker (or
+    /// vantage point) its own registry, then merge them into a
+    /// fleet-wide one. Merging is deterministic — merging the same set
+    /// of registries in the same order always yields the same snapshot
+    /// — and merging a fresh, empty registry is a no-op. Merging a
+    /// registry into itself is unsupported (it would double every
+    /// metric).
+    pub fn merge(&self, other: &Registry) {
+        // Clone the handles out under `other`'s locks first so we never
+        // hold two registries' locks at once.
+        let counters: Vec<(String, u64)> = other
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges: Vec<(String, i64)> = other
+            .inner
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms: Vec<(String, Histogram)> = other
+            .inner
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, h)| (name.clone(), h.clone()))
+            .collect();
+        // Adding zero still creates the entry, so the merged key set is
+        // the union of both registries' key sets.
+        for (name, value) in counters {
+            self.counter(&name).add(value);
+        }
+        for (name, value) in gauges {
+            self.gauge(&name).add(value);
+        }
+        for (name, h) in histograms {
+            self.histogram(&name).merge_from(&h);
+        }
+        self.journal.merge_from(&other.journal);
+        use crate::clock::Clock;
+        self.clock.advance_to(other.clock.now_micros());
+    }
+
     /// Freeze everything into a [`Report`].
     pub fn snapshot(&self) -> Report {
         use crate::clock::Clock;
@@ -295,6 +349,122 @@ mod tests {
         registry.gauge("relay.engaged").set(1);
         registry.histogram("monsoon.sample_us").record(3);
         assert_eq!(registry.snapshot().families(), ["adb", "monsoon", "relay"]);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_gauges() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("power.samples").add(100);
+        b.counter("power.samples").add(23);
+        b.counter("relay.actuations").add(7);
+        a.gauge("scheduler.queue_depth").set(3);
+        b.gauge("scheduler.queue_depth").set(2);
+        a.merge(&b);
+        let report = a.snapshot();
+        assert_eq!(report.counter("power.samples"), 123);
+        assert_eq!(report.counter("relay.actuations"), 7);
+        assert_eq!(report.gauges["scheduler.queue_depth"], 5);
+    }
+
+    #[test]
+    fn merge_combines_histogram_buckets() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.histogram("lat").record(1);
+        a.histogram("lat").record(4);
+        b.histogram("lat").record(1000);
+        b.histogram("other").record(2);
+        a.merge(&b);
+        let report = a.snapshot();
+        let lat = report.histogram("lat").unwrap();
+        assert_eq!(lat.count, 3);
+        assert_eq!(lat.sum, 1005);
+        assert_eq!(lat.min, 1);
+        assert_eq!(lat.max, 1000);
+        // Buckets added element-wise: one sample in each of the three
+        // occupied log2 buckets.
+        assert_eq!(lat.buckets.iter().sum::<u64>(), 3);
+        assert_eq!(report.histogram("other").unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_interleaves_journals_by_timestamp() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.clock().advance_to(10);
+        a.event("first", "a");
+        a.clock().advance_to(300);
+        a.event("third", "a");
+        b.clock().advance_to(20);
+        b.event("second", "b");
+        a.merge(&b);
+        let report = a.snapshot();
+        let labels: Vec<&str> = report.events.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["first", "second", "third"]);
+        // Clock advanced to the later of the two (a was already ahead).
+        assert_eq!(report.at_micros, 300);
+    }
+
+    #[test]
+    fn merge_of_empty_registry_is_identity() {
+        let a = Registry::new();
+        a.counter("c").add(5);
+        a.gauge("g").set(-2);
+        a.histogram("h").record(9);
+        a.clock().advance_to(42);
+        a.event("e", "d");
+        let before = a.snapshot();
+        a.merge(&Registry::new());
+        assert_eq!(a.snapshot(), before);
+        assert_eq!(a.snapshot().to_json(), before.to_json());
+    }
+
+    #[test]
+    fn merge_is_deterministic_across_orderings_of_independent_parts() {
+        // Summing is commutative for counters/histograms and the journal
+        // sorts by time, so merging the same parts in any order yields
+        // the same snapshot.
+        let build = || {
+            let r = Registry::new();
+            r.counter("x").add(3);
+            r.histogram("h").record(17);
+            r.clock().advance_to(5);
+            r.event("ev", "p");
+            r
+        };
+        let (p1, p2) = (build(), build());
+        let ab = Registry::new();
+        ab.merge(&p1);
+        ab.merge(&p2);
+        let ba = Registry::new();
+        ba.merge(&p2);
+        ba.merge(&p1);
+        assert_eq!(ab.snapshot().to_json(), ba.snapshot().to_json());
+    }
+
+    #[test]
+    fn merge_respects_journal_capacity() {
+        let a = Registry::new();
+        let b = Registry::new();
+        // Overfill b's journal so it carries a drop count in.
+        for i in 0..1030u64 {
+            b.clock().advance_to(i + 1);
+            b.event("spam", i.to_string());
+        }
+        assert_eq!(b.journal().dropped(), 1030 - 1024);
+        a.merge(&b);
+        assert_eq!(a.journal().len(), 1024);
+        assert_eq!(a.journal().dropped(), 1030 - 1024);
+        // A second merge overflows the bounded journal; the oldest go.
+        let c = Registry::new();
+        c.clock().advance_to(2000);
+        c.event("late", "x");
+        a.merge(&c);
+        assert_eq!(a.journal().len(), 1024);
+        assert_eq!(a.journal().dropped(), (1030 - 1024) + 1);
+        let snap = a.journal().snapshot();
+        assert_eq!(snap.last().unwrap().label, "late");
     }
 
     #[test]

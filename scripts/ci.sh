@@ -19,3 +19,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 cargo build --release
 cargo test -q
+
+# Golden determinism: the parallel harness must emit byte-identical
+# artifacts for any worker count (fig2 + fig3 at jobs=1 vs jobs=4,
+# including the merged platform_metrics.json).
+cargo test -q -p batterylab-tests --test parallel_determinism
+
+# Wall-clock split: evaluation at jobs=1 vs every available core.
+# Prints the per-figure table and refreshes BENCH_eval.json.
+cargo run --release -q -p batterylab-bench --bin bench_eval

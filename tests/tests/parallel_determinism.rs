@@ -1,0 +1,60 @@
+//! Golden determinism: the parallel evaluation harness must produce
+//! byte-identical artifacts for any worker count. We run fig2 and fig3
+//! at `--jobs 1` and `--jobs 4` and compare every exported byte —
+//! including the merged platform telemetry snapshot, whose counters,
+//! histograms and journal come back through `Registry::merge`.
+
+use batterylab::eval::{export, fig2, fig3, table2, EvalConfig};
+
+fn quick() -> EvalConfig {
+    EvalConfig {
+        fig2_duration_s: 10.0,
+        ..EvalConfig::quick(77)
+    }
+}
+
+#[test]
+fn fig2_export_identical_across_job_counts() {
+    let serial = fig2::run(&quick().with_jobs(1));
+    let parallel = fig2::run(&quick().with_jobs(4));
+    assert_eq!(
+        export::cdf_series_csv(&export::fig2_series(&serial)),
+        export::cdf_series_csv(&export::fig2_series(&parallel)),
+    );
+    assert_eq!(serial.render(), parallel.render());
+}
+
+#[test]
+fn fig3_bars_and_platform_metrics_identical_across_job_counts() {
+    let serial = fig3::run(&quick().with_jobs(1));
+    let parallel = fig3::run(&quick().with_jobs(4));
+    assert_eq!(
+        export::bars_csv(&export::fig3_bars(&serial)),
+        export::bars_csv(&export::fig3_bars(&parallel)),
+    );
+    // The merged telemetry snapshot is the hard part: per-run registries
+    // merge back in descriptor order, so the JSON must match byte for
+    // byte — counters, histogram buckets, journal lines and all.
+    assert_eq!(serial.metrics.to_json(), parallel.metrics.to_json());
+}
+
+#[test]
+fn oversubscribed_jobs_change_nothing() {
+    // More workers than runs: the pool clamps, the output doesn't care.
+    let serial = table2::run(&quick().with_jobs(1));
+    let flooded = table2::run(&quick().with_jobs(64));
+    for ((la, ra), (lb, rb)) in serial.rows.iter().zip(&flooded.rows) {
+        assert_eq!(la, lb);
+        assert_eq!(ra.down_mbps.to_bits(), rb.down_mbps.to_bits());
+        assert_eq!(ra.up_mbps.to_bits(), rb.up_mbps.to_bits());
+        assert_eq!(ra.latency_ms.to_bits(), rb.latency_ms.to_bits());
+    }
+}
+
+#[test]
+fn auto_jobs_matches_serial() {
+    // `jobs = 0` resolves to the machine's parallelism, whatever it is.
+    let serial = fig2::run(&quick().with_jobs(1));
+    let auto = fig2::run(&quick().with_jobs(0));
+    assert_eq!(serial.render(), auto.render());
+}
