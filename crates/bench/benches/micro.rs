@@ -13,9 +13,9 @@ use std::sync::Arc;
 
 use batterylab::adb::{AdbKey, AdbLink, MockServices, Packet, TransportKind};
 use batterylab::device::boot_j7_duo;
-use batterylab::power::{ConstantLoad, Monsoon};
+use batterylab::power::{ConstantLoad, Monsoon, TraceLoad};
 use batterylab::relay::CircuitSwitch;
-use batterylab::sim::{Engine, SimDuration, SimRng, SimTime};
+use batterylab::sim::{Engine, SimDuration, SimRng, SimTime, StepSignal};
 use batterylab::telemetry::Registry;
 use bytes::BytesMut;
 
@@ -87,6 +87,49 @@ fn bench_monsoon(c: &mut Criterion) {
     group.finish();
 }
 
+/// Segment-batched vs per-sample sampling over a sparse step trace —
+/// the tentpole comparison behind `BENCH_eval.json`'s sampler target,
+/// under Criterion's statistics. 10 virtual seconds at 5 kHz, a step
+/// every ~230 ms.
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(20);
+    let mut trace = StepSignal::new(120.0);
+    let mut level = 120.0;
+    for step in 1..44u64 {
+        level = if level > 400.0 { 130.0 } else { level + 95.0 };
+        trace.set(SimTime::from_micros(step * 230_000), level);
+    }
+    let load = TraceLoad::new(trace, 4.0);
+    let fresh = || {
+        let mut m = Monsoon::new(SimRng::new(1).derive("m"));
+        m.set_powered(true);
+        m.set_voltage(4.0).unwrap();
+        m.enable_vout().unwrap();
+        m
+    };
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("segmented_10s_sparse_trace", |b| {
+        b.iter(|| {
+            let mut m = fresh();
+            black_box(
+                m.sample_run_at_rate(&load, SimTime::ZERO, 10.0, 5000.0)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("per_sample_10s_sparse_trace", |b| {
+        b.iter(|| {
+            let mut m = fresh();
+            black_box(
+                m.sample_run_reference_at_rate(&load, SimTime::ZERO, 10.0, 5000.0)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_relay(c: &mut Criterion) {
     c.bench_function("relay/switch_cycle", |b| {
         let switch = CircuitSwitch::new(4);
@@ -139,6 +182,7 @@ criterion_group!(
     benches,
     bench_adb_framing,
     bench_monsoon,
+    bench_sampling,
     bench_relay,
     bench_device,
     bench_engine

@@ -15,6 +15,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use batterylab::eval::{fig2, fig3, fig4, fig5, fig6, par, sysperf, table2, EvalConfig};
+use batterylab::power::{Calibration, Monsoon, TraceLoad, MONSOON_RATE_HZ};
+use batterylab::sim::{SimRng, SimTime, StepSignal};
 
 fn usage() -> ! {
     eprintln!("usage: bench_eval [--seed N] [--out DIR]");
@@ -32,6 +34,91 @@ fn timed(mut run: impl FnMut()) -> f64 {
     let start = Instant::now();
     run();
     start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Serial sampler throughput: a sparse step trace (a step every ~230 ms,
+/// the shape real device traces have) sampled for 10 s at the native
+/// 5 kHz, segment-batched vs the per-sample reference path, in two
+/// instrument configurations:
+///
+/// * `noise_free` — noise floor disabled, the pure pipeline-overhead
+///   comparison (physics, calibration, quantisation, aggregation);
+/// * `noisy` — the default calibration, where both paths additionally
+///   draw one Gaussian per sample from the same stream, a cost the
+///   batching cannot remove (only the paired Box–Muller halves it, for
+///   both paths alike).
+fn sampler_throughput(seed: u64) -> serde_json::Value {
+    let duration_s = 10.0;
+    let mut trace = StepSignal::new(120.0);
+    let mut t = 0u64;
+    let mut level = 120.0;
+    while t < (duration_s * 1e6) as u64 {
+        t += 230_000;
+        level = if level > 400.0 { 130.0 } else { level + 95.0 };
+        trace.set(SimTime::from_micros(t), level);
+    }
+    let load = TraceLoad::new(trace, 4.0);
+    let samples = (duration_s * MONSOON_RATE_HZ) as u64;
+    let meter = |cal: Calibration| {
+        let mut m = Monsoon::new(SimRng::new(seed).derive("monsoon")).with_calibration(cal);
+        m.set_powered(true);
+        m.set_voltage(4.0).unwrap();
+        m.enable_vout().unwrap();
+        m
+    };
+    println!("\n# sampler throughput (serial, {samples} samples, sparse step trace)");
+    println!(
+        "{:<12} {:<22} {:>10} {:>14} {:>8}",
+        "config", "path", "wall", "samples/s", "speedup"
+    );
+    let mut out = serde_json::Map::new();
+    let noisy = Calibration::default();
+    let noise_free = Calibration {
+        noise_ma: 0.0,
+        ..noisy
+    };
+    for (name, cal) in [("noise_free", noise_free), ("noisy", noisy)] {
+        let mut segmented = meter(cal);
+        let mut reference = meter(cal);
+        let reference_ms = timed(|| {
+            std::hint::black_box(
+                reference
+                    .sample_run_reference_at_rate(&load, SimTime::ZERO, duration_s, MONSOON_RATE_HZ)
+                    .unwrap(),
+            );
+        });
+        let segmented_ms = timed(|| {
+            std::hint::black_box(
+                segmented
+                    .sample_run_at_rate(&load, SimTime::ZERO, duration_s, MONSOON_RATE_HZ)
+                    .unwrap(),
+            );
+        });
+        let segmented_sps = samples as f64 / (segmented_ms / 1e3);
+        let reference_sps = samples as f64 / (reference_ms / 1e3);
+        let speedup = reference_ms / segmented_ms.max(1e-9);
+        println!(
+            "{:<12} {:<22} {:>8.1}ms {:>12.0}/s {:>8}",
+            name, "per-sample reference", reference_ms, reference_sps, ""
+        );
+        println!(
+            "{:<12} {:<22} {:>8.1}ms {:>12.0}/s {:>7.2}x",
+            name, "segment-batched", segmented_ms, segmented_sps, speedup
+        );
+        out.push((
+            name.to_string(),
+            serde_json::json!({
+                "samples": samples,
+                "rate_hz": MONSOON_RATE_HZ,
+                "reference_ms": reference_ms,
+                "segmented_ms": segmented_ms,
+                "reference_samples_per_sec": reference_sps,
+                "segmented_samples_per_sec": segmented_sps,
+                "speedup": speedup,
+            }),
+        ));
+    }
+    serde_json::Value::Object(out)
 }
 
 fn main() {
@@ -106,11 +193,14 @@ fn main() {
         total_serial / total_parallel.max(1e-9),
     );
 
+    let sampler = sampler_throughput(seed);
+
     let json = serde_json::json!({
         "config": "quick",
         "seed": seed,
         "parallel_jobs": jobs,
         "available_parallelism": par::available_jobs(),
+        "sampler": sampler,
         "targets": rows.iter().map(|r| serde_json::json!({
             "target": r.target,
             "serial_ms": r.serial_ms,

@@ -48,11 +48,15 @@ pub fn run_seed(seed: u64, label: &str, index: usize) -> u64 {
 /// the results in descriptor order.
 ///
 /// `jobs == 1` (or a single descriptor) short-circuits to a plain
-/// serial loop on the caller's thread — no pool, no overhead. With more
-/// jobs, workers pull the next unclaimed index from a shared cursor, so
-/// long runs and short runs pack tightly; results are written into a
-/// slot per index and stitched back in order at the end. A panicking
-/// run propagates out of the scope, like the serial loop would.
+/// serial loop on the caller's thread — no pool, no overhead. Short
+/// sweeps used to pay for that pool dearly: Table 2's eight
+/// sub-millisecond VPN runs clocked a 0.16× "speedup" from spawn
+/// latency alone. With more jobs, the caller's thread itself works as
+/// one of the pool (only `jobs - 1` threads are spawned); workers pull
+/// the next unclaimed index from a shared cursor, so long runs and
+/// short runs pack tightly; results are written into a slot per index
+/// and stitched back in order at the end. A panicking run propagates
+/// out of the scope, like the serial loop would.
 pub fn run_ordered<D, T, F>(jobs: usize, descriptors: &[D], run: F) -> Vec<T>
 where
     D: Sync,
@@ -60,7 +64,7 @@ where
     F: Fn(usize, &D) -> T + Sync,
 {
     let jobs = jobs.max(1).min(descriptors.len().max(1));
-    if jobs == 1 {
+    if jobs == 1 || descriptors.len() <= 1 {
         return descriptors
             .iter()
             .enumerate()
@@ -69,17 +73,19 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = descriptors.iter().map(|_| Mutex::new(None)).collect();
+    let work = |next: &AtomicUsize| loop {
+        let index = next.fetch_add(1, Ordering::Relaxed);
+        let Some(descriptor) = descriptors.get(index) else {
+            break;
+        };
+        let result = run(index, descriptor);
+        *slots[index].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+    };
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(descriptor) = descriptors.get(index) else {
-                    break;
-                };
-                let result = run(index, descriptor);
-                *slots[index].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
-            });
+        for _ in 1..jobs {
+            scope.spawn(|| work(&next));
         }
+        work(&next);
     });
     slots
         .into_iter()

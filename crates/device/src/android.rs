@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use batterylab_adb::DeviceServices;
-use batterylab_power::CurrentSource;
+use batterylab_power::{step_signal_segments, CurrentSource, Segment};
 use batterylab_sim::{SimDuration, SimRng, SimTime};
 use parking_lot::Mutex;
 
@@ -145,6 +145,27 @@ impl CurrentSource for AndroidDevice {
         } else {
             ma
         }
+    }
+
+    fn segments(&self, from: SimTime, to: SimTime, supply_v: f64) -> Option<Vec<Segment>> {
+        // The device's draw IS a piecewise-constant trace (the simulator
+        // builds it segment by segment), so the meter can batch over it.
+        let inner = self.inner.lock();
+        let nominal = inner.sim.nominal_v();
+        let usb_connected = inner.sim.state().usb_connected;
+        Some(step_signal_segments(
+            inner.sim.current_trace(),
+            from,
+            to,
+            |step| {
+                let ma = step * nominal / supply_v.max(1e-6);
+                if usb_connected {
+                    ma * USB_MEASUREMENT_CORRUPTION
+                } else {
+                    ma
+                }
+            },
+        ))
     }
 }
 

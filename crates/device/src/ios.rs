@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use batterylab_power::CurrentSource;
+use batterylab_power::{step_signal_segments, CurrentSource, Segment};
 use batterylab_sim::{SimDuration, SimRng, SimTime};
 use parking_lot::Mutex;
 
@@ -112,6 +112,17 @@ impl CurrentSource for IosDevice {
         let inner = self.inner.lock();
         let nominal = inner.sim.nominal_v();
         inner.sim.current_trace().at(t) * nominal / supply_v.max(1e-6)
+    }
+
+    fn segments(&self, from: SimTime, to: SimTime, supply_v: f64) -> Option<Vec<Segment>> {
+        let inner = self.inner.lock();
+        let nominal = inner.sim.nominal_v();
+        Some(step_signal_segments(
+            inner.sim.current_trace(),
+            from,
+            to,
+            |step| step * nominal / supply_v.max(1e-6),
+        ))
     }
 }
 

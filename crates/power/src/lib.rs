@@ -23,7 +23,9 @@ pub use monsoon::{
     VOLTAGE_RANGE,
 };
 pub use socket::{PowerSocket, SocketError, SocketState};
-pub use source::{ConstantLoad, CurrentSource, OpenCircuit, TraceLoad};
+pub use source::{
+    step_signal_segments, ConstantLoad, CurrentSource, OpenCircuit, Segment, TraceLoad,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -16,7 +16,7 @@ use batterylab_stats::EnergyAccumulator;
 use batterylab_telemetry::{Counter, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 
-use crate::source::CurrentSource;
+use crate::source::{CurrentSource, Segment};
 
 /// Native sampling rate of the Monsoon HV, Hz.
 pub const MONSOON_RATE_HZ: f64 = 5000.0;
@@ -138,9 +138,13 @@ pub struct Monsoon {
     telemetry: MonsoonTelemetry,
     // Scratch for the chunked sampling loop, reused across chunks and
     // runs (including decimated-rate runs) so steady-state sampling
-    // allocates nothing beyond the output series itself.
+    // allocates nothing beyond the output series itself. Pre-reserved to
+    // SAMPLE_CHUNK at construction (and re-checked when telemetry is
+    // rebound) so the first chunk of a run never grows them.
     chunk_times: Vec<SimTime>,
     chunk_values: Vec<f64>,
+    chunk_noise: Vec<f64>,
+    chunk_ua: Vec<u64>,
 }
 
 impl Monsoon {
@@ -155,9 +159,20 @@ impl Monsoon {
             rng,
             total_samples: 0,
             telemetry: MonsoonTelemetry::bind(&Registry::new()),
-            chunk_times: Vec::new(),
-            chunk_values: Vec::new(),
+            chunk_times: Vec::with_capacity(SAMPLE_CHUNK),
+            chunk_values: Vec::with_capacity(SAMPLE_CHUNK),
+            chunk_noise: Vec::with_capacity(SAMPLE_CHUNK),
+            chunk_ua: Vec::with_capacity(SAMPLE_CHUNK),
         }
+    }
+
+    /// Ensure every chunk scratch buffer holds a full chunk without
+    /// incremental growth mid-run.
+    fn reserve_chunk_scratch(&mut self) {
+        self.chunk_times.reserve(SAMPLE_CHUNK);
+        self.chunk_values.reserve(SAMPLE_CHUNK);
+        self.chunk_noise.reserve(SAMPLE_CHUNK);
+        self.chunk_ua.reserve(SAMPLE_CHUNK);
     }
 
     /// Replace the calibration (fault-injection tests use this).
@@ -175,6 +190,7 @@ impl Monsoon {
     /// In-place variant of [`Self::with_telemetry`].
     pub fn set_telemetry(&mut self, registry: &Registry) {
         self.telemetry = MonsoonTelemetry::bind(registry);
+        self.reserve_chunk_scratch();
     }
 
     /// Mains power state.
@@ -271,12 +287,46 @@ impl Monsoon {
     /// As [`Self::sample_run`] but at a caller-chosen rate — long browser
     /// experiments use a decimated rate to bound memory, exactly like the
     /// controller's streaming mode.
+    ///
+    /// When the load reports its piecewise-constant structure through
+    /// [`CurrentSource::segments`], the physics is evaluated **once per
+    /// constant segment** and calibration, noise, quantisation and
+    /// clamping are applied over the segment's whole sample block in
+    /// tight slice loops — with identical output to the per-sample
+    /// reference path ([`Self::sample_run_reference_at_rate`]),
+    /// bit-for-bit. Loads without step structure fall back to the
+    /// reference path automatically.
     pub fn sample_run_at_rate(
         &mut self,
         load: &dyn CurrentSource,
         start: SimTime,
         duration_s: f64,
         rate_hz: f64,
+    ) -> Result<SampleRun, MonsoonError> {
+        self.sample_run_inner(load, start, duration_s, rate_hz, true)
+    }
+
+    /// The retained per-sample reference path: evaluates the load at
+    /// every sample instant through [`Self::read_once`], exactly as the
+    /// pre-batching instrument did. Kept public so equivalence tests and
+    /// benches can pin the fast path against it.
+    pub fn sample_run_reference_at_rate(
+        &mut self,
+        load: &dyn CurrentSource,
+        start: SimTime,
+        duration_s: f64,
+        rate_hz: f64,
+    ) -> Result<SampleRun, MonsoonError> {
+        self.sample_run_inner(load, start, duration_s, rate_hz, false)
+    }
+
+    fn sample_run_inner(
+        &mut self,
+        load: &dyn CurrentSource,
+        start: SimTime,
+        duration_s: f64,
+        rate_hz: f64,
+        batched: bool,
     ) -> Result<SampleRun, MonsoonError> {
         if !self.powered {
             return Err(MonsoonError::PoweredOff);
@@ -296,7 +346,47 @@ impl Monsoon {
         // chunk instead of one RMW per sample.
         let mut samples = TimeSeries::with_capacity(n as usize);
         let mut energy = EnergyAccumulator::new(rate_hz);
-        let mut done = 0u64;
+        let end = SimTime::from_micros(start.as_micros() + n * period_us);
+        let segments = if batched {
+            load.segments(start, end, self.voltage_v)
+        } else {
+            None
+        };
+        match segments {
+            Some(segs) => {
+                self.run_segmented(&segs, load, start, period_us, n, &mut samples, &mut energy)?
+            }
+            None => self.run_per_sample(load, start, period_us, 0, n, &mut samples, &mut energy)?,
+        }
+        self.telemetry.runs.inc();
+        self.telemetry.run_us.record(n * period_us);
+        self.telemetry
+            .registry
+            .clock()
+            .advance_to(start.as_micros() + n * period_us);
+        Ok(SampleRun {
+            samples,
+            energy,
+            voltage_v: self.voltage_v,
+        })
+    }
+
+    /// The per-sample loop: one `read_once` per sample instant, chunked
+    /// for telemetry and trace-append amortisation. Generates samples
+    /// `first..n`; the segmented path delegates here if a segmentation
+    /// stops short of the window.
+    #[allow(clippy::too_many_arguments)]
+    fn run_per_sample(
+        &mut self,
+        load: &dyn CurrentSource,
+        start: SimTime,
+        period_us: u64,
+        first: u64,
+        n: u64,
+        samples: &mut TimeSeries,
+        energy: &mut EnergyAccumulator,
+    ) -> Result<(), MonsoonError> {
+        let mut done = first;
         while done < n {
             let len = SAMPLE_CHUNK.min((n - done) as usize);
             self.chunk_times.clear();
@@ -325,17 +415,110 @@ impl Monsoon {
             self.telemetry.samples.add(len as u64);
             done += len as u64;
         }
-        self.telemetry.runs.inc();
-        self.telemetry.run_us.record(n * period_us);
-        self.telemetry
-            .registry
-            .clock()
-            .advance_to(start.as_micros() + n * period_us);
-        Ok(SampleRun {
-            samples,
-            energy,
-            voltage_v: self.voltage_v,
-        })
+        Ok(())
+    }
+
+    /// The segment-batched fast path: physics once per constant segment,
+    /// then calibration, noise, quantisation, clamping and aggregation
+    /// vectorised over the segment's sample block.
+    ///
+    /// Over-current is detected per segment — the current is constant
+    /// across it, so the first sample instant inside the segment trips,
+    /// which is exactly when the per-sample path would trip. Segments
+    /// containing no sample instant are skipped entirely, again matching
+    /// the reference path (which never observes them).
+    #[allow(clippy::too_many_arguments)]
+    fn run_segmented(
+        &mut self,
+        segments: &[Segment],
+        load: &dyn CurrentSource,
+        start: SimTime,
+        period_us: u64,
+        n: u64,
+        samples: &mut TimeSeries,
+        energy: &mut EnergyAccumulator,
+    ) -> Result<(), MonsoonError> {
+        let cal = self.calibration;
+        let mut done = 0u64;
+        for seg in segments {
+            if done >= n {
+                break;
+            }
+            // Sample k lives at start + k·period; those strictly before
+            // the segment's exclusive end are k < ceil(span / period).
+            let sample_end = if seg.end == SimTime::MAX {
+                n
+            } else {
+                let span = seg.end.as_micros().saturating_sub(start.as_micros());
+                span.div_ceil(period_us).min(n)
+            };
+            if sample_end <= done {
+                continue; // no sample instant falls inside this segment
+            }
+            let true_ma = seg.current_ma;
+            if true_ma > MAX_CONTINUOUS_MA {
+                // Constant across the segment ⇒ its first sample trips.
+                let t = SimTime::from_micros(start.as_micros() + done * period_us);
+                self.telemetry.overcurrent_trips.inc();
+                self.telemetry.registry.event(
+                    "power.overcurrent",
+                    format!("{current:.0} mA at {t}", current = true_ma),
+                );
+                return Err(MonsoonError::OverCurrent {
+                    at: t,
+                    current_ma: true_ma,
+                });
+            }
+            // One physics + calibration evaluation for the whole segment.
+            let base = true_ma * cal.gain + cal.offset_ma;
+            while done < sample_end {
+                let len = SAMPLE_CHUNK.min((sample_end - done) as usize);
+                self.chunk_times.clear();
+                for k in 0..len as u64 {
+                    self.chunk_times.push(SimTime::from_micros(
+                        start.as_micros() + (done + k) * period_us,
+                    ));
+                }
+                self.chunk_values.clear();
+                if cal.noise_ma == 0.0 {
+                    // Noise-free: every sample of the segment quantises to
+                    // the same reading; compute it once.
+                    let reading = ((base / cal.lsb_ma).round() * cal.lsb_ma).max(0.0);
+                    self.chunk_values.resize(len, reading);
+                } else {
+                    self.chunk_noise.resize(len, 0.0);
+                    self.rng.fill_standard_normal(&mut self.chunk_noise[..len]);
+                    for &z in &self.chunk_noise[..len] {
+                        let noisy = base + cal.noise_ma * z;
+                        self.chunk_values
+                            .push(((noisy / cal.lsb_ma).round() * cal.lsb_ma).max(0.0));
+                    }
+                }
+                energy.push_slice(&self.chunk_values, self.voltage_v);
+                self.chunk_ua.clear();
+                self.chunk_ua.extend(
+                    self.chunk_values
+                        .iter()
+                        .map(|&ma| (ma * 1000.0).round() as u64),
+                );
+                self.telemetry.sample_ua.record_slice(&self.chunk_ua);
+                samples.extend_from_slices(&self.chunk_times, &self.chunk_values);
+                self.total_samples += len as u64;
+                self.telemetry.samples.add(len as u64);
+                done += len as u64;
+            }
+        }
+        if done < n {
+            // A segmentation that stops short of the window violates the
+            // CurrentSource contract; degrade to slow-but-correct.
+            debug_assert!(
+                false,
+                "CurrentSource::segments did not cover the sampling window \
+                 ({done} of {n} samples)"
+            );
+            return self.run_per_sample(load, start, period_us, done, n, samples, energy);
+        }
+        Ok(())
     }
 }
 

@@ -8,6 +8,20 @@
 
 use batterylab_sim::{SimTime, StepSignal};
 
+/// A maximal interval of constant current draw, as reported by
+/// [`CurrentSource::segments`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// Inclusive start of the interval.
+    pub start: SimTime,
+    /// Exclusive end of the interval.
+    pub end: SimTime,
+    /// The constant draw over `[start, end)` at the queried supply
+    /// voltage, mA — bit-identical to what [`CurrentSource::current_ma`]
+    /// returns for any instant inside the interval.
+    pub current_ma: f64,
+}
+
 /// Something that draws current from a supply.
 pub trait CurrentSource: Send + Sync {
     /// Instantaneous current draw in mA at virtual time `t`, given the
@@ -17,6 +31,58 @@ pub trait CurrentSource: Send + Sync {
     /// instant twice returns the same value (noise is added by the meter,
     /// not the load).
     fn current_ma(&self, t: SimTime, supply_v: f64) -> f64;
+
+    /// Piecewise-constant description of the draw over `[from, to)`, for
+    /// meters that batch their physics per constant segment instead of
+    /// per sample (see `batterylab-power`'s Monsoon fast path).
+    ///
+    /// The default returns `None`: "no step structure known", which makes
+    /// the meter fall back to evaluating [`Self::current_ma`] once per
+    /// sample — equivalent to one segment per sample — so existing
+    /// sources keep working unchanged.
+    ///
+    /// Implementations that return `Some` must uphold the contract:
+    ///
+    /// * segments are time-ordered, contiguous and cover `[from, to)`
+    ///   exactly (no gaps, no overlap);
+    /// * within a segment, `current_ma(t, v)` is independent of `t` for
+    ///   *every* fixed supply voltage `v` — the step boundaries must not
+    ///   depend on the voltage (wrappers like the relay's meter side
+    ///   re-query at a refined voltage);
+    /// * each [`Segment::current_ma`] is bit-identical to
+    ///   `current_ma(t, supply_v)` for every `t` inside the segment.
+    fn segments(&self, _from: SimTime, _to: SimTime, _supply_v: f64) -> Option<Vec<Segment>> {
+        None
+    }
+}
+
+/// Walk `trace` over `[from, to)` with a monotone cursor and map each
+/// step value through `map` — the shared implementation behind every
+/// [`StepSignal`]-backed [`CurrentSource::segments`] (trace loads,
+/// device simulators). `O(m)` in the trace's change points.
+pub fn step_signal_segments(
+    trace: &StepSignal,
+    from: SimTime,
+    to: SimTime,
+    mut map: impl FnMut(f64) -> f64,
+) -> Vec<Segment> {
+    let mut out = Vec::new();
+    if to <= from {
+        return out;
+    }
+    let mut cursor = trace.cursor();
+    let mut t = from;
+    while t < to {
+        let (step, until) = cursor.segment(t);
+        let end = until.min(to);
+        out.push(Segment {
+            start: t,
+            end,
+            current_ma: map(step),
+        });
+        t = end;
+    }
+    out
 }
 
 /// A constant load, useful for calibration tests.
@@ -40,6 +106,17 @@ impl CurrentSource for ConstantLoad {
     fn current_ma(&self, _t: SimTime, supply_v: f64) -> f64 {
         // Constant power: P = V_nom * I_nom, so I = P / V_supply.
         self.ma * self.nominal_v / supply_v.max(1e-6)
+    }
+
+    fn segments(&self, from: SimTime, to: SimTime, supply_v: f64) -> Option<Vec<Segment>> {
+        if to <= from {
+            return Some(Vec::new());
+        }
+        Some(vec![Segment {
+            start: from,
+            end: to,
+            current_ma: self.current_ma(from, supply_v),
+        }])
     }
 }
 
@@ -68,6 +145,12 @@ impl CurrentSource for TraceLoad {
     fn current_ma(&self, t: SimTime, supply_v: f64) -> f64 {
         self.trace.at(t) * self.nominal_v / supply_v.max(1e-6)
     }
+
+    fn segments(&self, from: SimTime, to: SimTime, supply_v: f64) -> Option<Vec<Segment>> {
+        Some(step_signal_segments(&self.trace, from, to, |step| {
+            step * self.nominal_v / supply_v.max(1e-6)
+        }))
+    }
 }
 
 /// An open circuit: draws nothing. What the meter sees when the relay has
@@ -78,6 +161,17 @@ pub struct OpenCircuit;
 impl CurrentSource for OpenCircuit {
     fn current_ma(&self, _t: SimTime, _supply_v: f64) -> f64 {
         0.0
+    }
+
+    fn segments(&self, from: SimTime, to: SimTime, _supply_v: f64) -> Option<Vec<Segment>> {
+        if to <= from {
+            return Some(Vec::new());
+        }
+        Some(vec![Segment {
+            start: from,
+            end: to,
+            current_ma: 0.0,
+        }])
     }
 }
 
@@ -106,6 +200,54 @@ mod tests {
     #[test]
     fn open_circuit_draws_nothing() {
         assert_eq!(OpenCircuit.current_ma(SimTime::from_secs(1), 4.2), 0.0);
+    }
+
+    #[test]
+    fn trace_load_segments_cover_window_and_match_at() {
+        let mut trace = StepSignal::new(100.0);
+        trace.set(SimTime::from_secs(2), 250.0);
+        trace.set(SimTime::from_secs(5), 80.0);
+        let load = TraceLoad::new(trace, 4.0);
+        let from = SimTime::from_millis(500);
+        let to = SimTime::from_secs(7);
+        let segs = load.segments(from, to, 4.1).expect("step-structured");
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs.first().unwrap().start, from);
+        assert_eq!(segs.last().unwrap().end, to);
+        for pair in segs.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "contiguous");
+        }
+        for seg in &segs {
+            let mid = SimTime::from_micros((seg.start.as_micros() + seg.end.as_micros()) / 2);
+            for t in [seg.start, mid] {
+                assert_eq!(
+                    seg.current_ma.to_bits(),
+                    load.current_ma(t, 4.1).to_bits(),
+                    "segment value must be bit-identical to current_ma"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_and_open_loads_are_one_segment() {
+        let from = SimTime::ZERO;
+        let to = SimTime::from_secs(10);
+        let c = ConstantLoad::new(120.0, 4.0)
+            .segments(from, to, 4.0)
+            .unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].current_ma, 120.0);
+        let o = OpenCircuit.segments(from, to, 4.0).unwrap();
+        assert_eq!(
+            o,
+            vec![Segment {
+                start: from,
+                end: to,
+                current_ma: 0.0
+            }]
+        );
+        assert!(OpenCircuit.segments(to, from, 4.0).unwrap().is_empty());
     }
 
     #[test]

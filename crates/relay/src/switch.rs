@@ -19,7 +19,7 @@ use batterylab_telemetry::{Counter, Gauge, Registry};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
-use batterylab_power::CurrentSource;
+use batterylab_power::{CurrentSource, Segment};
 
 /// Relay contact position for one channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -298,6 +298,49 @@ impl CurrentSource for MeterSide {
         let v_eff = (supply_v - i0 / 1000.0 * inner.contact_ohms).max(0.1);
         load.current_ma(t, v_eff)
     }
+
+    fn segments(&self, from: SimTime, to: SimTime, supply_v: f64) -> Option<Vec<Segment>> {
+        let inner = self.switch.inner.read();
+        let open_circuit = || {
+            if to <= from {
+                Some(Vec::new())
+            } else {
+                Some(vec![Segment {
+                    start: from,
+                    end: to,
+                    current_ma: 0.0,
+                }])
+            }
+        };
+        let Some(ch) = inner
+            .channels
+            .iter()
+            .find(|c| c.route == ChannelRoute::Bypass)
+        else {
+            return open_circuit();
+        };
+        let Some(load) = &ch.load else {
+            return open_circuit();
+        };
+        // The attached load's step boundaries are voltage-independent
+        // (part of the segments contract), so the contact-resistance
+        // refinement maps each inner segment to one outer segment — the
+        // same two `current_ma` evaluations the per-sample path performs,
+        // but once per segment instead of once per sample.
+        let segs = load.segments(from, to, supply_v)?;
+        Some(
+            segs.into_iter()
+                .map(|seg| {
+                    let i0 = seg.current_ma;
+                    let v_eff = (supply_v - i0 / 1000.0 * inner.contact_ohms).max(0.1);
+                    Segment {
+                        current_ma: load.current_ma(seg.start, v_eff),
+                        ..seg
+                    }
+                })
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +450,41 @@ mod tests {
         assert_eq!(report.events.len(), 2);
         assert_eq!(report.events[0].at_micros, 1_000_000);
         assert_eq!(report.events[0].detail, "ch0");
+    }
+
+    #[test]
+    fn meter_side_segments_match_per_sample_reads() {
+        use batterylab_power::TraceLoad;
+        use batterylab_sim::StepSignal;
+        let mut trace = StepSignal::new(150.0);
+        trace.set(SimTime::from_secs(1), 900.0);
+        trace.set(SimTime::from_secs(3), 40.0);
+        let sw = CircuitSwitch::new(1);
+        sw.attach(0, Arc::new(TraceLoad::new(trace, 4.0))).unwrap();
+        sw.engage_bypass(0, SimTime::ZERO).unwrap();
+        let meter = sw.meter_side();
+        let to = SimTime::from_secs(5);
+        let segs = meter.segments(SimTime::ZERO, to, 4.0).expect("trace load");
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs.last().unwrap().end, to);
+        for seg in &segs {
+            assert_eq!(
+                seg.current_ma.to_bits(),
+                meter.current_ma(seg.start, 4.0).to_bits(),
+                "contact-resistance refinement must match per-sample reads"
+            );
+        }
+    }
+
+    #[test]
+    fn meter_side_segments_open_circuit_is_zero() {
+        let sw = CircuitSwitch::new(1);
+        let meter = sw.meter_side();
+        let segs = meter
+            .segments(SimTime::ZERO, SimTime::from_secs(1), 4.0)
+            .unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].current_ma, 0.0);
     }
 
     #[test]

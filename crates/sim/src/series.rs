@@ -208,12 +208,43 @@ impl StepSignal {
         }
     }
 
+    /// Index of the step in effect at `t`.
+    fn index_at(&self, t: SimTime) -> usize {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
     /// Value at instant `t` (the step in effect at `t`).
     pub fn at(&self, t: SimTime) -> f64 {
-        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
-            Ok(i) => self.points[i].1,
-            Err(0) => self.points[0].1,
-            Err(i) => self.points[i - 1].1,
+        self.points[self.index_at(t)].1
+    }
+
+    /// The constant segment containing `t`: its value and its exclusive
+    /// end (the instant of the next change, [`SimTime::MAX`] on the
+    /// final step). The value is bit-identical to [`Self::at`].
+    pub fn segment_at(&self, t: SimTime) -> (f64, SimTime) {
+        let i = self.index_at(t);
+        let end = self
+            .points
+            .get(i + 1)
+            .map(|&(pt, _)| pt)
+            .unwrap_or(SimTime::MAX);
+        (self.points[i].1, end)
+    }
+
+    /// A monotone segment cursor positioned at the start of the signal.
+    ///
+    /// Sampling loops that walk the signal in time order should prefer
+    /// the cursor over per-query [`Self::at`]: a full pass over `n`
+    /// queries against a signal with `m` change points costs `O(n + m)`
+    /// instead of `O(n log m)`.
+    pub fn cursor(&self) -> StepCursor<'_> {
+        StepCursor {
+            signal: self,
+            index: 0,
         }
     }
 
@@ -230,11 +261,7 @@ impl StepSignal {
         let mut acc = 0.0;
         let mut cursor = from;
         // Index of the step in effect at `from`.
-        let mut i = match self.points.binary_search_by(|&(pt, _)| pt.cmp(&from)) {
-            Ok(i) => i,
-            Err(0) => 0,
-            Err(i) => i - 1,
-        };
+        let mut i = self.index_at(from);
         while cursor < to {
             let value = self.points[i].1;
             let next_change = self
@@ -262,6 +289,47 @@ impl StepSignal {
     /// Number of recorded change points (including the initial value).
     pub fn changes(&self) -> usize {
         self.points.len()
+    }
+}
+
+/// A cursor over a [`StepSignal`]'s constant segments.
+///
+/// Queries that move forward in time advance the cursor by scanning from
+/// its last position, so a monotone sweep over the whole signal is linear
+/// in change points. A query that moves backwards re-seats the cursor
+/// with a binary search, so results always agree with [`StepSignal::at`].
+pub struct StepCursor<'a> {
+    signal: &'a StepSignal,
+    index: usize,
+}
+
+impl StepCursor<'_> {
+    /// The segment containing `t`: `(value, exclusive_end)`, exactly as
+    /// [`StepSignal::segment_at`] returns it.
+    pub fn segment(&mut self, t: SimTime) -> (f64, SimTime) {
+        let points = &self.signal.points;
+        if points[self.index].0 > t {
+            // Backwards query: re-seat (monotone callers never hit this).
+            self.index = self.signal.index_at(t);
+        }
+        while self
+            .index
+            .checked_add(1)
+            .and_then(|next| points.get(next))
+            .is_some_and(|&(pt, _)| pt <= t)
+        {
+            self.index += 1;
+        }
+        let end = points
+            .get(self.index + 1)
+            .map(|&(pt, _)| pt)
+            .unwrap_or(SimTime::MAX);
+        (points[self.index].1, end)
+    }
+
+    /// Value at instant `t`; agrees with [`StepSignal::at`] bit-for-bit.
+    pub fn at(&mut self, t: SimTime) -> f64 {
+        self.segment(t).0
     }
 }
 
@@ -368,6 +436,43 @@ mod tests {
         let mut s = StepSignal::new(0.0);
         s.set(t(5), 10.0);
         assert!((s.mean(t(0), t(10)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_signal_segment_at_reports_bounds() {
+        let mut s = StepSignal::new(1.0);
+        s.set(t(10), 3.0);
+        s.set(t(20), 0.5);
+        assert_eq!(s.segment_at(t(0)), (1.0, t(10)));
+        assert_eq!(s.segment_at(t(10)), (3.0, t(20)));
+        assert_eq!(s.segment_at(t(15)), (3.0, t(20)));
+        assert_eq!(s.segment_at(t(25)), (0.5, SimTime::MAX));
+    }
+
+    #[test]
+    fn cursor_matches_at_on_monotone_sweep() {
+        let mut s = StepSignal::new(0.0);
+        for k in 1..40u64 {
+            s.set(SimTime::from_millis(k * 137), (k % 5) as f64);
+        }
+        let mut cursor = s.cursor();
+        for us in (0..6_000_000u64).step_by(13_331) {
+            let q = SimTime::from_micros(us);
+            assert_eq!(cursor.at(q).to_bits(), s.at(q).to_bits(), "at {q:?}");
+            let (v, end) = s.segment_at(q);
+            assert_eq!(cursor.segment(q), (v, end));
+        }
+    }
+
+    #[test]
+    fn cursor_recovers_from_backwards_query() {
+        let mut s = StepSignal::new(1.0);
+        s.set(t(5), 2.0);
+        s.set(t(9), 3.0);
+        let mut cursor = s.cursor();
+        assert_eq!(cursor.at(t(10)), 3.0);
+        assert_eq!(cursor.at(t(1)), 1.0);
+        assert_eq!(cursor.segment(t(6)), (2.0, t(9)));
     }
 
     #[test]

@@ -59,6 +59,30 @@ impl EnergyAccumulator {
         self.max_ma = self.max_ma.max(current_ma);
     }
 
+    /// Feed a block of samples at one voltage.
+    ///
+    /// Bit-identical to calling [`Self::push`] once per sample in order
+    /// (the accumulation runs in the same sequence, just through
+    /// registers instead of one memory round-trip per sample) — the
+    /// Monsoon's segment-batched path relies on that equivalence.
+    pub fn push_slice(&mut self, currents_ma: &[f64], voltage_v: f64) {
+        let mut sum_ma = self.sum_ma;
+        let mut sum_mw = self.sum_mw;
+        let mut min_ma = self.min_ma;
+        let mut max_ma = self.max_ma;
+        for &ma in currents_ma {
+            sum_ma += ma;
+            sum_mw += ma * voltage_v;
+            min_ma = min_ma.min(ma);
+            max_ma = max_ma.max(ma);
+        }
+        self.samples += currents_ma.len() as u64;
+        self.sum_ma = sum_ma;
+        self.sum_mw = sum_mw;
+        self.min_ma = min_ma;
+        self.max_ma = max_ma;
+    }
+
     /// Number of samples consumed.
     pub fn samples(&self) -> u64 {
         self.samples
@@ -149,6 +173,27 @@ mod tests {
         assert_eq!(acc.min_ma(), 100.0);
         assert_eq!(acc.max_ma(), 106.0);
         assert!((acc.elapsed_secs() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_slice_is_bit_identical_to_pushes() {
+        let stream: Vec<f64> = (0..2000)
+            .map(|i| 100.0 + ((i * 37) % 113) as f64 * 0.37)
+            .collect();
+        let mut one_by_one = EnergyAccumulator::new(500.0);
+        let mut sliced = EnergyAccumulator::new(500.0);
+        for &ma in &stream {
+            one_by_one.push(ma, 4.0);
+        }
+        for block in stream.chunks(333) {
+            sliced.push_slice(block, 4.0);
+        }
+        sliced.push_slice(&[], 4.0);
+        assert_eq!(one_by_one.samples(), sliced.samples());
+        assert_eq!(one_by_one.mah().to_bits(), sliced.mah().to_bits());
+        assert_eq!(one_by_one.mwh().to_bits(), sliced.mwh().to_bits());
+        assert_eq!(one_by_one.min_ma().to_bits(), sliced.min_ma().to_bits());
+        assert_eq!(one_by_one.max_ma().to_bits(), sliced.max_ma().to_bits());
     }
 
     #[test]

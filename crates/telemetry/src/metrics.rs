@@ -157,6 +157,39 @@ impl Histogram {
         core.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Record a block of samples with one shared-state merge.
+    ///
+    /// Buckets, sum and min/max accumulate in locals first, then land in
+    /// the shared core with one atomic RMW per *touched bucket* plus four
+    /// for the scalars — instead of five per sample. Equivalent to
+    /// calling [`Self::record`] per value; hot sampling loops (the
+    /// Monsoon's segment-batched path) call this once per chunk.
+    pub fn record_slice(&self, values: &[u64]) {
+        if values.is_empty() {
+            return;
+        }
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        let mut sum = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for &v in values {
+            buckets[bucket_index(v)] += 1;
+            sum = sum.wrapping_add(v);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let core = &self.core;
+        for (shared, &local) in core.buckets.iter().zip(buckets.iter()) {
+            if local > 0 {
+                shared.fetch_add(local, Ordering::Relaxed);
+            }
+        }
+        core.count.fetch_add(values.len() as u64, Ordering::Relaxed);
+        core.sum.fetch_add(sum, Ordering::Relaxed);
+        core.min.fetch_min(min, Ordering::Relaxed);
+        core.max.fetch_max(max, Ordering::Relaxed);
+    }
+
     /// Number of samples recorded so far.
     pub fn count(&self) -> u64 {
         self.core.count.load(Ordering::Relaxed)
@@ -328,6 +361,21 @@ mod tests {
         assert!((snap.mean() - 26.5).abs() < 1e-9);
         assert!(snap.percentile(0.5) <= 3);
         assert_eq!(snap.percentile(1.0), 100);
+    }
+
+    #[test]
+    fn record_slice_matches_per_sample_records() {
+        let per_sample = Histogram::default();
+        let sliced = Histogram::default();
+        let values: Vec<u64> = (0..5000u64).map(|i| (i * 2654435761) % 1_000_000).collect();
+        for &v in &values {
+            per_sample.record(v);
+        }
+        for block in values.chunks(1024) {
+            sliced.record_slice(block);
+        }
+        sliced.record_slice(&[]);
+        assert_eq!(per_sample.snapshot(), sliced.snapshot());
     }
 
     #[test]

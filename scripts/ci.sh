@@ -25,6 +25,10 @@ cargo test -q
 # including the merged platform_metrics.json).
 cargo test -q -p batterylab-tests --test parallel_determinism
 
+# Sampling fast path: the segment-batched pipeline must stay bit-for-bit
+# identical to the per-sample reference path (noise-free and noisy).
+cargo test -q -p batterylab-tests --test sampling_fastpath
+
 # Wall-clock split: evaluation at jobs=1 vs every available core.
 # Prints the per-figure table and refreshes BENCH_eval.json.
 cargo run --release -q -p batterylab-bench --bin bench_eval

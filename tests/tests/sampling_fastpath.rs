@@ -1,0 +1,187 @@
+//! Equivalence of the segment-batched sampling fast path against the
+//! retained per-sample reference path, across the whole meter chain.
+//!
+//! The contract under test (DESIGN.md §3e): for any piecewise-constant
+//! load, `Monsoon::sample_run_at_rate` (segment-batched) and
+//! `Monsoon::sample_run_reference_at_rate` (per-sample) produce
+//! **bit-identical** output — samples, aggregates, counters and trip
+//! errors — given the same RNG seed. Noise does not weaken this: both
+//! paths consume exactly one standard normal per emitted sample in time
+//! order, so even noisy runs match bit for bit.
+
+use batterylab::device::boot_j7_duo;
+use batterylab::power::{Calibration, Monsoon, MonsoonError, SampleRun, TraceLoad};
+use batterylab::sim::{SimDuration, SimRng, SimTime, StepSignal};
+use proptest::prelude::*;
+
+fn powered(seed: u64, cal: Calibration) -> Monsoon {
+    let mut m = Monsoon::new(SimRng::new(seed).derive("monsoon")).with_calibration(cal);
+    m.set_powered(true);
+    m.set_voltage(4.0).unwrap();
+    m.enable_vout().unwrap();
+    m
+}
+
+fn noise_free() -> Calibration {
+    Calibration {
+        gain: 1.0005,
+        offset_ma: 0.03,
+        noise_ma: 0.0,
+        lsb_ma: 0.02,
+    }
+}
+
+/// Build a step trace from `(gap_us, value_ma)` deltas.
+fn trace_from_steps(initial: f64, steps: &[(u64, f64)]) -> StepSignal {
+    let mut signal = StepSignal::new(initial);
+    let mut t = 0u64;
+    for &(gap_us, value) in steps {
+        t += gap_us;
+        signal.set(SimTime::from_micros(t), value);
+    }
+    signal
+}
+
+fn assert_runs_bit_identical(fast: &SampleRun, reference: &SampleRun) {
+    assert_eq!(fast.samples.len(), reference.samples.len());
+    assert_eq!(fast.samples.times(), reference.samples.times());
+    for (a, b) in fast.samples.values().iter().zip(reference.samples.values()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "sample mismatch: {a} vs {b}");
+    }
+    assert_eq!(fast.energy.samples(), reference.energy.samples());
+    assert_eq!(
+        fast.energy.mah().to_bits(),
+        reference.energy.mah().to_bits()
+    );
+    assert_eq!(
+        fast.energy.mwh().to_bits(),
+        reference.energy.mwh().to_bits()
+    );
+    assert_eq!(
+        fast.energy.min_ma().to_bits(),
+        reference.energy.min_ma().to_bits()
+    );
+    assert_eq!(
+        fast.energy.max_ma().to_bits(),
+        reference.energy.max_ma().to_bits()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Noise-free: the fast path is bit-for-bit the reference path over
+    /// randomised step traces, durations and (decimated) rates.
+    #[test]
+    fn segmented_matches_reference_bit_for_bit_noise_free(
+        seed in 0u64..1000,
+        initial in 0.0f64..1500.0,
+        steps in proptest::collection::vec((1u64..40_000, 0.0f64..1500.0), 0..12),
+        duration_ms in 20u64..300,
+        rate_pick in 0usize..3,
+    ) {
+        let rate = [5000.0f64, 1000.0, 137.0][rate_pick];
+        let load = TraceLoad::new(trace_from_steps(initial, &steps), 4.0);
+        let duration_s = duration_ms as f64 / 1000.0;
+        let fast = powered(seed, noise_free())
+            .sample_run_at_rate(&load, SimTime::ZERO, duration_s, rate)
+            .unwrap();
+        let reference = powered(seed, noise_free())
+            .sample_run_reference_at_rate(&load, SimTime::ZERO, duration_s, rate)
+            .unwrap();
+        assert_runs_bit_identical(&fast, &reference);
+    }
+
+    /// Noisy: still bit-for-bit — both paths draw one standard normal
+    /// per emitted sample from the same stream, in time order — and the
+    /// noise actually lands (the trace is not constant-quantised).
+    #[test]
+    fn segmented_matches_reference_bit_for_bit_noisy(
+        seed in 0u64..1000,
+        initial in 50.0f64..1500.0,
+        steps in proptest::collection::vec((1u64..40_000, 0.0f64..1500.0), 0..12),
+    ) {
+        let load = TraceLoad::new(trace_from_steps(initial, &steps), 4.0);
+        let fast = powered(seed, Calibration::default())
+            .sample_run_at_rate(&load, SimTime::ZERO, 0.2, 5000.0)
+            .unwrap();
+        let reference = powered(seed, Calibration::default())
+            .sample_run_reference_at_rate(&load, SimTime::ZERO, 0.2, 5000.0)
+            .unwrap();
+        assert_runs_bit_identical(&fast, &reference);
+        // Statistical sanity: with a 0.25 mA RMS floor the 1000-sample
+        // trace cannot collapse to a single quantised reading.
+        let distinct: std::collections::BTreeSet<u64> =
+            fast.samples.values().iter().map(|v| v.to_bits()).collect();
+        prop_assert!(distinct.len() > 3, "noise missing: {} distinct readings", distinct.len());
+    }
+
+    /// A monotone cursor walk over a random trace reads exactly what
+    /// binary-searched `at()` reads, at every sample instant.
+    #[test]
+    fn cursor_agrees_with_binary_search_at(
+        initial in 0.0f64..100.0,
+        steps in proptest::collection::vec((1u64..5_000, 0.0f64..100.0), 0..20),
+        period_us in 1u64..700,
+    ) {
+        let signal = trace_from_steps(initial, &steps);
+        let mut cursor = signal.cursor();
+        for k in 0..200u64 {
+            let t = SimTime::from_micros(k * period_us);
+            prop_assert_eq!(cursor.at(t).to_bits(), signal.at(t).to_bits());
+        }
+    }
+}
+
+/// Over-current mid-run: the segmented path trips at the same sample
+/// instant, with the same current, the same error and the same sample
+/// accounting as the reference path.
+#[test]
+fn over_current_trip_is_path_invariant() {
+    // Healthy for 61.3 ms (boundary off the sample grid), then over the
+    // 6 A limit.
+    let mut trace = StepSignal::new(150.0);
+    trace.set(SimTime::from_micros(61_300), 6900.0);
+    let load = TraceLoad::new(trace, 4.0);
+
+    let mut fast_meter = powered(77, Calibration::default());
+    let fast = fast_meter
+        .sample_run_at_rate(&load, SimTime::ZERO, 0.2, 5000.0)
+        .unwrap_err();
+    let mut ref_meter = powered(77, Calibration::default());
+    let reference = ref_meter
+        .sample_run_reference_at_rate(&load, SimTime::ZERO, 0.2, 5000.0)
+        .unwrap_err();
+
+    assert_eq!(fast, reference);
+    let MonsoonError::OverCurrent { at, current_ma } = fast else {
+        panic!("expected an over-current trip, got {fast:?}");
+    };
+    // First sample instant inside the over-limit segment: 61.4 ms.
+    assert_eq!(at, SimTime::from_micros(61_400));
+    assert!((current_ma - 6900.0).abs() < 1e-9);
+    assert_eq!(fast_meter.total_samples(), ref_meter.total_samples());
+    assert_eq!(fast_meter.total_samples(), 307);
+}
+
+/// The full meter chain — simulated Android device behind the relay's
+/// measurement path — batches through `CurrentSource::segments` with
+/// output bit-identical to the per-sample reference.
+#[test]
+fn device_chain_is_bit_identical_across_paths() {
+    let rng = SimRng::new(4242);
+    let device = boot_j7_duo(&rng, "fastpath-dev");
+    device.with_sim(|s| {
+        s.set_screen(true);
+        s.run_activity(SimDuration::from_secs(2), 0.4, 0.6);
+        s.idle(SimDuration::from_secs(1));
+    });
+    let fast = powered(4242, Calibration::default())
+        .sample_run_at_rate(&device, SimTime::ZERO, 3.0, 5000.0)
+        .unwrap();
+    let reference = powered(4242, Calibration::default())
+        .sample_run_reference_at_rate(&device, SimTime::ZERO, 3.0, 5000.0)
+        .unwrap();
+    assert_runs_bit_identical(&fast, &reference);
+    assert_eq!(fast.samples.len(), 15_000);
+}
