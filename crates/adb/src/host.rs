@@ -7,6 +7,8 @@
 //! a daemon and the duplex pipe into the synchronous API the controller
 //! uses (`connect`, `execute`, `shell`, …).
 
+use batterylab_faults::{FaultInjector, FaultKind};
+use batterylab_sim::SimTime;
 use batterylab_telemetry::{Counter, Histogram, Registry};
 use bytes::{Bytes, BytesMut};
 
@@ -294,6 +296,13 @@ pub struct AdbLink<S: DeviceServices> {
     connects: Counter,
     reconnects: Counter,
     services: Counter,
+    /// Platform fault plan: `TransportReset` specs at `fault_site` sever
+    /// the transport before a service runs.
+    faults: FaultInjector,
+    fault_site: String,
+    /// Sim time the next fault check is evaluated at; the controller
+    /// syncs this from the device clock (the link itself has no clock).
+    fault_clock: SimTime,
 }
 
 /// Pump budget for one logical operation. Handshake + auth + fallback is
@@ -322,7 +331,23 @@ impl<S: DeviceServices> AdbLink<S> {
             connects: Counter::default(),
             reconnects: Counter::default(),
             services: Counter::default(),
+            faults: FaultInjector::disabled(),
+            fault_site: batterylab_faults::site::ADB_TRANSPORT.to_string(),
+            fault_clock: SimTime::ZERO,
         }
+    }
+
+    /// Consult `injector` for `TransportReset` faults under `site` on
+    /// every service execution.
+    pub fn set_faults(&mut self, injector: &FaultInjector, site: &str) {
+        self.faults = injector.clone();
+        self.fault_site = site.to_string();
+    }
+
+    /// Advance the sim time fault checks are evaluated at (windowed
+    /// transport faults key on this).
+    pub fn sync_fault_clock(&mut self, now: SimTime) {
+        self.fault_clock = self.fault_clock.max(now);
     }
 
     /// Rebind this link (framing layer included) to a shared registry.
@@ -393,6 +418,16 @@ impl<S: DeviceServices> AdbLink<S> {
 
     /// Run a one-shot service and return its output.
     pub fn execute(&mut self, service: &str) -> Result<Vec<u8>, HostError> {
+        if self.faults.check(
+            &self.fault_site,
+            FaultKind::TransportReset,
+            self.fault_clock,
+        ) {
+            // USB port power glitch / WiFi deauth: the transport drops
+            // and stays down until the controller reconnects it.
+            self.host.transport.disconnect();
+            return Err(HostError::Transport(TransportError::Disconnected));
+        }
         self.services.inc();
         self.host.start_service(service)?;
         for _ in 0..PUMP_BUDGET {
@@ -553,6 +588,28 @@ mod tests {
         assert!(executed
             .iter()
             .any(|s| s == "shell:pm clear com.android.chrome"));
+    }
+
+    #[test]
+    fn injected_transport_reset_severs_until_reconnect() {
+        use batterylab_faults::{FaultInjector, FaultKind, FaultPlan};
+        let mut l = link(true);
+        l.connect().unwrap();
+        let plan = FaultPlan::new().next_n("adb.transport", FaultKind::TransportReset, 1);
+        l.set_faults(&FaultInjector::new(&plan, 9), "adb.transport");
+        assert!(matches!(
+            l.shell("echo x").unwrap_err(),
+            HostError::Transport(TransportError::Disconnected)
+        ));
+        // The transport stays down (reset, not a one-command blip) …
+        assert!(matches!(
+            l.shell("echo x").unwrap_err(),
+            HostError::Transport(TransportError::Disconnected)
+        ));
+        // … until the controller reconnects and re-handshakes.
+        l.reconnect_transport();
+        l.connect().unwrap();
+        assert_eq!(l.shell("echo x").unwrap(), "x\n");
     }
 
     #[test]

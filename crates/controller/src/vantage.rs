@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use batterylab_adb::{AdbKey, AdbLink, HostError, TransportKind};
 use batterylab_device::{AndroidDevice, PowerSource};
+use batterylab_faults::{scoped_site, site, FaultInjector};
 use batterylab_mirror::{EncoderConfig, MirrorSession, SessionError};
 use batterylab_net::{LinkProfile, VpnClient, VpnError, VpnLocation};
 use batterylab_power::{
@@ -192,6 +193,9 @@ pub struct VantagePoint {
     /// Shared metrics registry every subsystem on this node reports into.
     registry: Registry,
     telemetry: ControllerTelemetry,
+    /// Platform fault plan, cascaded to every subsystem (and to ADB
+    /// links / mirror sessions created later) under node-scoped sites.
+    faults: FaultInjector,
 }
 
 impl VantagePoint {
@@ -219,7 +223,36 @@ impl VantagePoint {
             telemetry: ControllerTelemetry::bind(&registry),
             registry,
             config,
+            faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Arm every subsystem of this node against `injector`, with fault
+    /// sites scoped by node name (`node1.power.socket`, …) so one plan
+    /// can target individual nodes of a fleet. ADB links and mirror
+    /// sessions created later inherit the injector.
+    pub fn attach_faults(&mut self, injector: &FaultInjector) {
+        self.faults = injector.clone();
+        let name = self.config.name.clone();
+        self.socket
+            .set_faults(injector, &scoped_site(&name, site::POWER_SOCKET));
+        self.monsoon
+            .set_faults(injector, &scoped_site(&name, site::POWER_METER));
+        self.board
+            .set_faults(injector, &scoped_site(&name, site::RELAY_CONTACT));
+        self.vpn
+            .set_faults(injector, &scoped_site(&name, site::NET_VPN));
+        for link in self.adb_links.values_mut() {
+            link.set_faults(injector, &scoped_site(&name, site::ADB_TRANSPORT));
+        }
+        for session in self.mirrors.values_mut() {
+            session.set_faults(injector, &scoped_site(&name, site::MIRROR_ENCODER));
+        }
+    }
+
+    /// The fault injector this node consults (disabled unless armed).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// Rebind this node — monsoon, relay switch, every ADB link and mirror
@@ -304,6 +337,10 @@ impl VantagePoint {
         }
         let mut session = MirrorSession::new(device, EncoderConfig::default(), "batterylab")
             .with_telemetry(&self.registry);
+        session.set_faults(
+            &self.faults,
+            &scoped_site(&self.config.name, site::MIRROR_ENCODER),
+        );
         session.start()?;
         // Memory/base-CPU of scrcpy receiver + tigervnc + noVNC (the ≈6 %
         // memory the paper measures); the change-driven CPU is added at
@@ -506,18 +543,25 @@ impl VantagePoint {
     ) -> Result<String, ControllerError> {
         let (_, device) = self.device(device_id)?;
         let device = device.clone();
+        let now = device.with_sim(|s| s.now());
         let key = self.adb_key.clone();
         self.telemetry.adb_commands.inc();
         let registry = self.registry.clone();
+        let faults = self.faults.clone();
+        let adb_site = scoped_site(&self.config.name, site::ADB_TRANSPORT);
         let link = match self.adb_links.entry(device_id.to_string()) {
             std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::btree_map::Entry::Vacant(e) => {
                 let mut link =
                     AdbLink::new(device, TransportKind::WiFi, key).with_telemetry(&registry);
+                link.set_faults(&faults, &adb_site);
                 link.connect()?;
                 e.insert(link)
             }
         };
+        // The link has no clock of its own; feed it device sim time so
+        // windowed transport faults line up with the experiment.
+        link.sync_fault_clock(now);
         Ok(link.shell(command)?)
     }
 
@@ -544,7 +588,14 @@ impl VantagePoint {
     /// Bring up a VPN tunnel (the §4.3 location emulation) and repoint
     /// every device's network path through it.
     pub fn connect_vpn(&mut self, location: VpnLocation) -> Result<(), ControllerError> {
-        self.vpn.switch(location);
+        let now = self.any_device_now();
+        let _ = self.vpn.disconnect();
+        if let Err(e) = self.vpn.connect_at(location, now) {
+            // The tunnel went down before the handshake finished; the
+            // devices are on the raw uplink until a retry succeeds.
+            self.repoint_devices();
+            return Err(e.into());
+        }
         self.telemetry.vpn_switches.inc();
         self.telemetry
             .registry
@@ -646,6 +697,12 @@ impl VantagePoint {
     /// Direct WiFi-socket access (fault injection in tests).
     pub fn socket_mut(&mut self) -> &mut PowerSocket {
         &mut self.socket
+    }
+
+    /// Read-only state of the meter's WiFi socket — what a maintenance
+    /// sweep needs to know without actuating anything.
+    pub fn meter_socket_state(&self) -> SocketState {
+        self.socket.state()
     }
 
     /// A device handle by serial.
@@ -847,6 +904,48 @@ mod tests {
             .events
             .iter()
             .any(|e| e.label == "controller.measurement_started"));
+    }
+
+    #[test]
+    fn attach_faults_scopes_sites_by_node_name() {
+        use batterylab_faults::{FaultKind, FaultPlan};
+        let (mut vp, serial) = vantage(13);
+        // Faults aimed at node1's socket and ADB transport; a spec for
+        // some other node must not fire here.
+        let plan = FaultPlan::new()
+            .next_n("node1.power.socket", FaultKind::SocketUnreachable, 1)
+            .next_n("node1.adb.transport", FaultKind::TransportReset, 1)
+            .next_n("node9.power.socket", FaultKind::SocketUnreachable, 5);
+        let injector = FaultInjector::new(&plan, 7);
+        injector.set_telemetry(vp.telemetry());
+        vp.attach_faults(&injector);
+        // power_monitor retries through the one injected socket failure.
+        vp.power_monitor().unwrap();
+        // First ADB exec trips the transport reset; the link reconnects
+        // on the next call path only after explicit repair, so expect Err.
+        assert!(matches!(
+            vp.execute_adb(&serial, "echo hi"),
+            Err(ControllerError::Adb(_))
+        ));
+        let report = vp.telemetry().snapshot();
+        assert_eq!(report.counter("controller.socket_retries"), 1);
+        // Only node1's two faults fired; node9's never will.
+        assert_eq!(injector.injected(), 2);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.label == "fault.injected" && e.detail.contains("node1.adb.transport")));
+    }
+
+    #[test]
+    fn meter_socket_state_is_read_only() {
+        let (mut vp, _) = vantage(14);
+        let before = vp.socket_mut().toggles();
+        assert_eq!(vp.meter_socket_state(), SocketState::Off);
+        vp.power_monitor().unwrap();
+        assert_eq!(vp.meter_socket_state(), SocketState::On);
+        // The query itself never actuated the socket.
+        assert_eq!(vp.socket_mut().toggles(), before + 1);
     }
 
     #[test]

@@ -83,6 +83,10 @@ fn usage() -> ! {
                                            regenerate the paper's §4 figures/tables;\n\
                                            --jobs 0 (default) uses every core — output\n\
                                            is byte-identical for any job count\n\
+           chaos    [--runs N] [--intensity X] [--jobs N] [--json]\n\
+                                           soak experiment pipelines under a seeded\n\
+                                           fault schedule and check the robustness\n\
+                                           invariants (exit 1 on any violation)\n\
          \n\
          global: --seed N (default 42)"
     );
@@ -370,6 +374,45 @@ fn main() {
                         std::process::exit(2);
                     }
                 }
+            }
+        }
+
+        "chaos" => {
+            use batterylab::chaos::{run_chaos, ChaosConfig};
+            let config = ChaosConfig {
+                seed,
+                runs: args.u64_or("runs", 4) as usize,
+                intensity: args
+                    .get("intensity")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.8),
+                jobs: args.u64_or("jobs", 1) as usize,
+            };
+            let report = run_chaos(&config);
+            if args.flag("json") {
+                println!("{}", report.to_json());
+            } else {
+                println!(
+                    "chaos soak: {} run(s), seed {}, intensity {:.2}",
+                    report.runs, config.seed, config.intensity
+                );
+                println!(
+                    "  faults injected: {}   jobs: {} submitted, {} succeeded, {} failed",
+                    report.faults_injected,
+                    report.jobs_submitted,
+                    report.jobs_succeeded,
+                    report.jobs_failed
+                );
+                if report.passed() {
+                    println!("  invariants: all held");
+                } else {
+                    for v in &report.violations {
+                        eprintln!("  VIOLATION: {v}");
+                    }
+                }
+            }
+            if !report.passed() {
+                std::process::exit(1);
             }
         }
 

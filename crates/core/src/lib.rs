@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod eval;
 pub mod platform;
 
@@ -47,6 +48,8 @@ pub use batterylab_automation as automation;
 pub use batterylab_controller as controller;
 /// Re-export: Android device simulator.
 pub use batterylab_device as device;
+/// Re-export: deterministic fault injection.
+pub use batterylab_faults as faults;
 /// Re-export: device mirroring.
 pub use batterylab_mirror as mirror;
 /// Re-export: network emulation.

@@ -124,6 +124,28 @@ impl ScrcpyCapture {
         Ok(self.total_bytes)
     }
 
+    /// Throttle the capture by `factor`: frame rate and rate cap scale
+    /// together, as scrcpy's rate control follows the frame clock. The
+    /// mirror session uses this for graceful degradation under encoder
+    /// stalls — fewer frames, fewer bytes, session intact.
+    pub fn throttle(&mut self, factor: f64) {
+        let factor = factor.clamp(0.01, 1.0);
+        self.config.fps *= factor;
+        self.config.bitrate_bps *= factor;
+    }
+
+    /// Discard the un-produced interval up to `until` without emitting
+    /// bytes (an encoder stall ate those frames).
+    pub fn discard_until(&mut self, until: SimTime) -> Result<(), EncoderError> {
+        if !self.is_running() {
+            return Err(EncoderError::NotRunning);
+        }
+        if until > self.produced_until {
+            self.produced_until = until;
+        }
+        Ok(())
+    }
+
     /// Encoded bytes generated between the last call and `until`, based on
     /// the device's frame-change trace: a static screen emits key-frame
     /// heartbeats only; a busy screen pushes the rate cap.

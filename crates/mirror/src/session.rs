@@ -3,6 +3,7 @@
 //! performance numbers.
 
 use batterylab_device::AndroidDevice;
+use batterylab_faults::{site, FaultInjector, FaultKind};
 use batterylab_sim::SimTime;
 use batterylab_telemetry::{Counter, Histogram, Registry};
 
@@ -50,6 +51,7 @@ struct MirrorTelemetry {
     auth_failures: Counter,
     encoded_bytes: Counter,
     upload_bytes: Counter,
+    encoder_stalls: Counter,
     pump_bytes: Histogram,
 }
 
@@ -62,6 +64,7 @@ impl MirrorTelemetry {
             auth_failures: registry.counter("mirror.auth_failures"),
             encoded_bytes: registry.counter("mirror.encoded_bytes"),
             upload_bytes: registry.counter("mirror.upload_bytes"),
+            encoder_stalls: registry.counter("mirror.encoder_stalls"),
             pump_bytes: registry.histogram("mirror.pump_bytes"),
             registry: registry.clone(),
         }
@@ -77,7 +80,17 @@ pub struct MirrorSession {
     uploaded: u64,
     started_at: Option<SimTime>,
     telemetry: MirrorTelemetry,
+    /// Platform fault plan: `EncoderStall` specs at `fault_site` stall
+    /// the encoder for one pump interval; the session degrades its frame
+    /// rate instead of dropping.
+    faults: FaultInjector,
+    fault_site: String,
 }
+
+/// Graceful-degradation floor: the session halves its frame rate on each
+/// encoder stall but never below this (a barely-watchable mirror beats a
+/// dropped session).
+const MIN_DEGRADED_FPS: f64 = 7.5;
 
 impl MirrorSession {
     /// Create a (stopped) session for `device`; viewers authenticate with
@@ -90,7 +103,21 @@ impl MirrorSession {
             uploaded: 0,
             started_at: None,
             telemetry: MirrorTelemetry::bind(&Registry::new()),
+            faults: FaultInjector::disabled(),
+            fault_site: site::MIRROR_ENCODER.to_string(),
         }
+    }
+
+    /// Consult `injector` for `EncoderStall` faults under `site` on every
+    /// pump.
+    pub fn set_faults(&mut self, injector: &FaultInjector, site: &str) {
+        self.faults = injector.clone();
+        self.fault_site = site.to_string();
+    }
+
+    /// Current capture frame rate (drops under injected encoder stalls).
+    pub fn current_fps(&self) -> f64 {
+        self.capture.config().fps
     }
 
     /// Rebind telemetry to a shared registry (`mirror.*` metrics).
@@ -164,6 +191,30 @@ impl MirrorSession {
     /// raw encoder bytes moved this pump.
     pub fn pump(&mut self) -> Result<u64, SessionError> {
         let now = self.device.with_sim(|s| s.now());
+        if self
+            .faults
+            .check(&self.fault_site, FaultKind::EncoderStall, now)
+        {
+            // Degradation rule: a stall drops frame rate, never the
+            // session. The stalled interval produces no bytes.
+            self.capture.discard_until(now)?;
+            self.telemetry.encoder_stalls.inc();
+            let fps = self.capture.config().fps;
+            if fps > MIN_DEGRADED_FPS {
+                self.capture.throttle(0.5);
+                self.telemetry.registry.clock().advance_to(now.as_micros());
+                self.telemetry.registry.event(
+                    "mirror.degraded",
+                    format!(
+                        "{} encoder stall: {:.1} fps -> {:.1} fps",
+                        self.device.serial(),
+                        fps,
+                        self.capture.config().fps
+                    ),
+                );
+            }
+            return Ok(0);
+        }
         let produced = self.capture.produce_until(now)?;
         self.telemetry.registry.clock().advance_to(now.as_micros());
         self.telemetry.encoded_bytes.add(produced);
@@ -294,6 +345,45 @@ mod tests {
             .events
             .iter()
             .any(|e| e.label == "mirror.session_started"));
+    }
+
+    #[test]
+    fn encoder_stall_degrades_frame_rate_but_keeps_session() {
+        use batterylab_faults::FaultPlan;
+        let registry = Registry::new();
+        let d = boot_j7_duo(&SimRng::new(9), "mirror-stall");
+        let mut s = MirrorSession::new(d.clone(), EncoderConfig::default(), "blab")
+            .with_telemetry(&registry);
+        let plan = FaultPlan::new().next_n(site::MIRROR_ENCODER, FaultKind::EncoderStall, 2);
+        s.set_faults(&FaultInjector::new(&plan, 5), site::MIRROR_ENCODER);
+        s.start().unwrap();
+        assert_eq!(s.current_fps(), 60.0);
+        d.with_sim(|sim| {
+            sim.set_screen(true);
+            sim.play_video(SimDuration::from_secs(5));
+        });
+        // Two stalled pumps: no bytes, frame rate halves each time, but
+        // the session never drops.
+        assert_eq!(s.pump().unwrap(), 0);
+        assert_eq!(s.current_fps(), 30.0);
+        d.with_sim(|sim| sim.play_video(SimDuration::from_secs(5)));
+        assert_eq!(s.pump().unwrap(), 0);
+        assert_eq!(s.current_fps(), 15.0);
+        assert!(s.is_active());
+        // The plan is exhausted: the next pump produces at the reduced rate.
+        d.with_sim(|sim| sim.play_video(SimDuration::from_secs(5)));
+        let produced = s.pump().unwrap();
+        assert!(produced > 0);
+        let report = registry.snapshot();
+        assert_eq!(report.counter("mirror.encoder_stalls"), 2);
+        assert_eq!(
+            report
+                .events
+                .iter()
+                .filter(|e| e.label == "mirror.degraded")
+                .count(),
+            2
+        );
     }
 
     #[test]

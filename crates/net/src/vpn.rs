@@ -7,6 +7,8 @@
 //! SpeedTest measurements, and a [`VpnClient`] lets the controller switch
 //! the active tunnel, exactly as the §4.3 automation script does.
 
+use batterylab_faults::{site, FaultInjector, FaultKind};
+use batterylab_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
 use crate::link::LinkProfile;
@@ -90,6 +92,9 @@ pub enum VpnError {
     NotConnected,
     /// Asked to connect while a tunnel was already active.
     AlreadyConnected(VpnLocation),
+    /// The transport reset mid-handshake (injected by the platform fault
+    /// plan); no tunnel came up.
+    TunnelReset(VpnLocation),
 }
 
 impl std::fmt::Display for VpnError {
@@ -98,6 +103,9 @@ impl std::fmt::Display for VpnError {
             VpnError::NotConnected => write!(f, "no VPN tunnel active"),
             VpnError::AlreadyConnected(loc) => {
                 write!(f, "VPN tunnel already active via {loc}")
+            }
+            VpnError::TunnelReset(loc) => {
+                write!(f, "VPN transport reset while connecting via {loc}")
             }
         }
     }
@@ -119,6 +127,10 @@ pub struct VpnClient {
     /// Multiplicative bandwidth cost of tunnel encapsulation.
     overhead: f64,
     connects: u32,
+    /// Platform fault plan: `TransportReset` specs at `fault_site` abort
+    /// a connect attempt.
+    faults: FaultInjector,
+    fault_site: String,
 }
 
 impl VpnClient {
@@ -129,13 +141,41 @@ impl VpnClient {
             active: None,
             overhead: 0.97,
             connects: 0,
+            faults: FaultInjector::disabled(),
+            fault_site: site::NET_VPN.to_string(),
         }
     }
 
-    /// Bring up a tunnel through `location`.
+    /// Consult `injector` for `TransportReset` faults under `site` on
+    /// every timed connect.
+    pub fn set_faults(&mut self, injector: &FaultInjector, site: &str) {
+        self.faults = injector.clone();
+        self.fault_site = site.to_string();
+    }
+
+    /// Bring up a tunnel through `location` (fault-unaware; equivalent to
+    /// [`Self::connect_at`] at time zero with no plan armed).
     pub fn connect(&mut self, location: VpnLocation) -> Result<(), VpnError> {
         if let Some(active) = self.active {
             return Err(VpnError::AlreadyConnected(active));
+        }
+        self.active = Some(location);
+        self.connects += 1;
+        Ok(())
+    }
+
+    /// Bring up a tunnel through `location` at sim instant `now`,
+    /// consulting the platform fault plan: an armed `TransportReset`
+    /// aborts the handshake and leaves the client disconnected.
+    pub fn connect_at(&mut self, location: VpnLocation, now: SimTime) -> Result<(), VpnError> {
+        if let Some(active) = self.active {
+            return Err(VpnError::AlreadyConnected(active));
+        }
+        if self
+            .faults
+            .check(&self.fault_site, FaultKind::TransportReset, now)
+        {
+            return Err(VpnError::TunnelReset(location));
         }
         self.active = Some(location);
         self.connects += 1;
@@ -258,6 +298,24 @@ mod tests {
         c.switch(VpnLocation::Brazil);
         assert_eq!(c.active(), Some(VpnLocation::Brazil));
         assert_eq!(c.connects(), 2);
+    }
+
+    #[test]
+    fn transport_reset_fault_aborts_connect() {
+        use batterylab_faults::FaultPlan;
+        let mut c = VpnClient::new(LinkProfile::campus_uplink());
+        let plan = FaultPlan::new().next_n(site::NET_VPN, FaultKind::TransportReset, 1);
+        c.set_faults(&FaultInjector::new(&plan, 3), site::NET_VPN);
+        assert_eq!(
+            c.connect_at(VpnLocation::Japan, SimTime::ZERO),
+            Err(VpnError::TunnelReset(VpnLocation::Japan))
+        );
+        assert!(c.active().is_none());
+        assert_eq!(c.connects(), 0);
+        // The retry (plan exhausted) succeeds.
+        c.connect_at(VpnLocation::Japan, SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(c.active(), Some(VpnLocation::Japan));
     }
 
     #[test]

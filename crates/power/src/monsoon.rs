@@ -11,6 +11,7 @@
 //! power socket (see [`crate::socket`]) — the paper keeps the meter off
 //! when idle "for safety reasons".
 
+use batterylab_faults::{FaultInjector, FaultKind};
 use batterylab_sim::{SimRng, SimTime, TimeSeries};
 use batterylab_stats::EnergyAccumulator;
 use batterylab_telemetry::{Counter, Histogram, Registry};
@@ -136,6 +137,10 @@ pub struct Monsoon {
     rng: SimRng,
     total_samples: u64,
     telemetry: MonsoonTelemetry,
+    /// Platform fault plan: brownout/over-current/sag specs at
+    /// `fault_site` fire at the start of a sampling run.
+    faults: FaultInjector,
+    fault_site: String,
     // Scratch for the chunked sampling loop, reused across chunks and
     // runs (including decimated-rate runs) so steady-state sampling
     // allocates nothing beyond the output series itself. Pre-reserved to
@@ -159,6 +164,8 @@ impl Monsoon {
             rng,
             total_samples: 0,
             telemetry: MonsoonTelemetry::bind(&Registry::new()),
+            faults: FaultInjector::disabled(),
+            fault_site: batterylab_faults::site::POWER_METER.to_string(),
             chunk_times: Vec::with_capacity(SAMPLE_CHUNK),
             chunk_values: Vec::with_capacity(SAMPLE_CHUNK),
             chunk_noise: Vec::with_capacity(SAMPLE_CHUNK),
@@ -191,6 +198,13 @@ impl Monsoon {
     pub fn set_telemetry(&mut self, registry: &Registry) {
         self.telemetry = MonsoonTelemetry::bind(registry);
         self.reserve_chunk_scratch();
+    }
+
+    /// Consult `injector` at the start of every sampling run for
+    /// `MeterBrownout`, `OverCurrent` and `VoltageSag` specs at `site`.
+    pub fn set_faults(&mut self, injector: &FaultInjector, site: &str) {
+        self.faults = injector.clone();
+        self.fault_site = site.to_string();
     }
 
     /// Mains power state.
@@ -339,6 +353,53 @@ impl Monsoon {
             rate_hz > 0.0 && rate_hz <= MONSOON_RATE_HZ,
             "rate 0..=5000 Hz"
         );
+        // Field faults scheduled against the meter: a mains brownout
+        // drops power mid-arm; a forced protection trip aborts the run;
+        // a sagged battery-bypass contact lowers the bus voltage the
+        // whole run measures at.
+        if self
+            .faults
+            .check(&self.fault_site, FaultKind::MeterBrownout, start)
+        {
+            self.set_powered(false);
+            return Err(MonsoonError::PoweredOff);
+        }
+        if self
+            .faults
+            .check(&self.fault_site, FaultKind::OverCurrent, start)
+        {
+            self.telemetry.overcurrent_trips.inc();
+            self.telemetry
+                .registry
+                .event("power.overcurrent", format!("forced trip at {start}"));
+            return Err(MonsoonError::OverCurrent {
+                at: start,
+                current_ma: MAX_CONTINUOUS_MA,
+            });
+        }
+        let nominal_v = self.voltage_v;
+        if self
+            .faults
+            .check(&self.fault_site, FaultKind::VoltageSag, start)
+        {
+            self.voltage_v = (nominal_v * 0.92).max(VOLTAGE_RANGE.0);
+        }
+        let result = self.sample_run_body(load, start, duration_s, rate_hz, batched);
+        self.voltage_v = nominal_v;
+        result
+    }
+
+    /// The sampling run proper, after power/fault gating. Split out so
+    /// a voltage-sag fault can scale the bus voltage around it and
+    /// restore the programmed value on every exit path.
+    fn sample_run_body(
+        &mut self,
+        load: &dyn CurrentSource,
+        start: SimTime,
+        duration_s: f64,
+        rate_hz: f64,
+        batched: bool,
+    ) -> Result<SampleRun, MonsoonError> {
         let n = (duration_s * rate_hz).round() as u64;
         let period_us = (1e6 / rate_hz).round() as u64;
         // The sample count is known up front: preallocate the trace and
@@ -715,6 +776,63 @@ mod tests {
         assert_eq!(run.samples.len(), 10_000);
         assert!(run.samples.times().windows(2).all(|w| w[1] > w[0]));
         assert_eq!(m.total_samples(), 10_000);
+    }
+
+    #[test]
+    fn injected_meter_faults_fire_once_then_clear() {
+        use batterylab_faults::{FaultInjector, FaultPlan};
+        let registry = Registry::new();
+        let mut m = powered_monsoon(21);
+        m.set_telemetry(&registry);
+        let plan = FaultPlan::new()
+            .next_n("power.meter", FaultKind::MeterBrownout, 1)
+            .next_n("power.meter", FaultKind::OverCurrent, 1);
+        let injector = FaultInjector::new(&plan, 3);
+        injector.set_telemetry(&registry);
+        m.set_faults(&injector, "power.meter");
+        let load = ConstantLoad::new(100.0, 4.0);
+        // First run: brownout drops mains mid-arm.
+        assert_eq!(
+            m.sample_run(&load, SimTime::ZERO, 0.01).unwrap_err(),
+            MonsoonError::PoweredOff
+        );
+        assert!(!m.is_powered());
+        // Re-power: the forced protection trip fires next.
+        m.set_powered(true);
+        m.set_voltage(4.0).unwrap();
+        m.enable_vout().unwrap();
+        assert!(matches!(
+            m.sample_run(&load, SimTime::ZERO, 0.01).unwrap_err(),
+            MonsoonError::OverCurrent { .. }
+        ));
+        // Plan exhausted: the third run completes.
+        assert!(m.sample_run(&load, SimTime::ZERO, 0.01).is_ok());
+        let report = registry.snapshot();
+        assert_eq!(report.counter("faults.injected"), 2);
+        assert_eq!(report.counter("power.overcurrent_trips"), 1);
+    }
+
+    #[test]
+    fn voltage_sag_scales_the_run_and_restores() {
+        use batterylab_faults::{FaultInjector, FaultPlan};
+        let mut m = powered_monsoon(22);
+        let plan = FaultPlan::new().window(
+            "power.meter",
+            FaultKind::VoltageSag,
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        );
+        m.set_faults(&FaultInjector::new(&plan, 4), "power.meter");
+        let sagged = m
+            .sample_run(&ConstantLoad::new(100.0, 4.0), SimTime::ZERO, 0.01)
+            .unwrap();
+        assert!((sagged.voltage_v - 4.0 * 0.92).abs() < 1e-9);
+        // Outside the window the programmed voltage is back.
+        let healthy = m
+            .sample_run(&ConstantLoad::new(100.0, 4.0), SimTime::from_secs(2), 0.01)
+            .unwrap();
+        assert_eq!(healthy.voltage_v, 4.0);
+        assert_eq!(m.voltage(), 4.0);
     }
 
     #[test]

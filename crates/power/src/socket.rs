@@ -6,7 +6,12 @@
 //! This is that socket: a small stateful appliance with the Meross
 //! `togglex` semantics, reachability faults, and an actuation counter the
 //! maintenance jobs can audit.
+//!
+//! Reachability faults come from the platform-wide [`FaultInjector`]:
+//! attach one with [`PowerSocket::set_faults`] and schedule
+//! `SocketUnreachable` specs against the socket's site label.
 
+use batterylab_faults::{FaultInjector, FaultKind};
 use batterylab_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -42,8 +47,12 @@ pub struct PowerSocket {
     state: SocketState,
     toggles: u32,
     last_change: Option<SimTime>,
-    /// When set, the next `fail_next` commands return `Unreachable`.
-    fail_next: u32,
+    /// Platform fault plan; `SocketUnreachable` specs at `site` make
+    /// commands fail. Disabled (never fires) by default.
+    faults: FaultInjector,
+    /// Site label commands are checked under (scoped per node by the
+    /// controller, e.g. `node1.power.socket`).
+    site: String,
     /// Actuation latency of the relay + LAN round trip.
     actuation: SimDuration,
 }
@@ -55,7 +64,8 @@ impl PowerSocket {
             state: SocketState::Off,
             toggles: 0,
             last_change: None,
-            fail_next: 0,
+            faults: FaultInjector::disabled(),
+            site: batterylab_faults::site::POWER_SOCKET.to_string(),
             actuation: SimDuration::from_millis(180),
         }
     }
@@ -85,16 +95,24 @@ impl PowerSocket {
         self.actuation
     }
 
-    /// Make the next `n` commands fail (fault injection).
-    pub fn inject_unreachable(&mut self, n: u32) {
-        self.fail_next = n;
+    /// Consult `injector` for `SocketUnreachable` faults under `site`.
+    pub fn set_faults(&mut self, injector: &FaultInjector, site: &str) {
+        self.faults = injector.clone();
+        self.site = site.to_string();
+    }
+
+    /// The site label fault specs must target to hit this socket.
+    pub fn fault_site(&self) -> &str {
+        &self.site
     }
 
     /// The Meross `togglex` command: set the relay to `on`.
     /// Idempotent; returns the resulting state.
     pub fn togglex(&mut self, now: SimTime, on: bool) -> Result<SocketState, SocketError> {
-        if self.fail_next > 0 {
-            self.fail_next -= 1;
+        if self
+            .faults
+            .check(&self.site, FaultKind::SocketUnreachable, now)
+        {
             return Err(SocketError::Unreachable);
         }
         let target = if on {
@@ -111,9 +129,11 @@ impl PowerSocket {
     }
 
     /// Query state over the LAN (can also fail when unreachable).
-    pub fn query(&mut self) -> Result<SocketState, SocketError> {
-        if self.fail_next > 0 {
-            self.fail_next -= 1;
+    pub fn query(&mut self, now: SimTime) -> Result<SocketState, SocketError> {
+        if self
+            .faults
+            .check(&self.site, FaultKind::SocketUnreachable, now)
+        {
             return Err(SocketError::Unreachable);
         }
         Ok(self.state)
@@ -151,15 +171,21 @@ mod tests {
 
     #[test]
     fn unreachable_fault_then_recovery() {
+        use batterylab_faults::FaultPlan;
         let mut s = PowerSocket::new();
-        s.inject_unreachable(2);
+        // The compat shim for the old `inject_unreachable(2)` knob.
+        let plan = FaultPlan::new().socket_unreachable_next(s.fault_site(), 2);
+        let injector = FaultInjector::new(&plan, 1);
+        let site = s.fault_site().to_string();
+        s.set_faults(&injector, &site);
         assert_eq!(
             s.togglex(SimTime::ZERO, true),
             Err(SocketError::Unreachable)
         );
-        assert_eq!(s.query(), Err(SocketError::Unreachable));
+        assert_eq!(s.query(SimTime::ZERO), Err(SocketError::Unreachable));
         // Third attempt succeeds — retry loops in the controller rely on this.
         assert_eq!(s.togglex(SimTime::ZERO, true), Ok(SocketState::On));
+        assert_eq!(injector.injected(), 2);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use batterylab_faults::{FaultInjector, FaultKind};
 use batterylab_sim::SimTime;
 
 use crate::gpio::{GpioBank, GpioError, Level, PinMode};
@@ -22,6 +23,10 @@ pub enum BoardError {
     Switch(SwitchError),
     /// Channel has no pin mapping.
     UnmappedChannel(usize),
+    /// A relay contact stuck and the channel did not actuate (injected
+    /// by the platform fault plan; also what [`RelayBoard::verify`]
+    /// means when route and coil disagree).
+    StuckContact(usize),
 }
 
 impl From<GpioError> for BoardError {
@@ -42,6 +47,7 @@ impl std::fmt::Display for BoardError {
             BoardError::Gpio(e) => write!(f, "gpio: {e}"),
             BoardError::Switch(e) => write!(f, "switch: {e}"),
             BoardError::UnmappedChannel(c) => write!(f, "channel {c} has no GPIO pin"),
+            BoardError::StuckContact(c) => write!(f, "channel {c} relay contact stuck"),
         }
     }
 }
@@ -54,6 +60,10 @@ pub struct RelayBoard {
     switch: Arc<CircuitSwitch>,
     /// `pin_map[channel]` = GPIO pin driving that channel's coil.
     pin_map: Vec<usize>,
+    /// Platform fault plan: `RelayStuckContact` specs at `fault_site`
+    /// make an actuation fail without moving the contact.
+    faults: FaultInjector,
+    fault_site: String,
 }
 
 impl RelayBoard {
@@ -73,7 +83,16 @@ impl RelayBoard {
             gpio,
             switch,
             pin_map,
+            faults: FaultInjector::disabled(),
+            fault_site: batterylab_faults::site::RELAY_CONTACT.to_string(),
         })
+    }
+
+    /// Consult `injector` for `RelayStuckContact` faults under `site`
+    /// on every actuation.
+    pub fn set_faults(&mut self, injector: &FaultInjector, site: &str) {
+        self.faults = injector.clone();
+        self.fault_site = site.to_string();
     }
 
     /// The underlying switch (for the meter side).
@@ -96,6 +115,12 @@ impl RelayBoard {
     /// Flip `channel` to the bypass (measurement) position.
     pub fn bypass(&mut self, channel: usize, now: SimTime) -> Result<(), BoardError> {
         let pin = self.pin_for(channel)?;
+        if self
+            .faults
+            .check(&self.fault_site, FaultKind::RelayStuckContact, now)
+        {
+            return Err(BoardError::StuckContact(channel));
+        }
         self.switch.engage_bypass(channel, now)?;
         // Energise the coil only after the switch accepted the transition,
         // so a busy bypass leaves the pin untouched.
@@ -106,6 +131,12 @@ impl RelayBoard {
     /// Flip `channel` back to its battery.
     pub fn battery(&mut self, channel: usize, now: SimTime) -> Result<(), BoardError> {
         let pin = self.pin_for(channel)?;
+        if self
+            .faults
+            .check(&self.fault_site, FaultKind::RelayStuckContact, now)
+        {
+            return Err(BoardError::StuckContact(channel));
+        }
         self.switch.release_bypass(channel, now)?;
         self.gpio.write(pin, Level::Low)?;
         Ok(())
@@ -188,5 +219,22 @@ mod tests {
     fn pin_map_must_cover_channels() {
         let sw = CircuitSwitch::new(3);
         let _ = RelayBoard::new(sw, vec![17]);
+    }
+
+    #[test]
+    fn stuck_contact_fault_blocks_one_actuation() {
+        use batterylab_faults::FaultPlan;
+        let mut b = board();
+        let plan = FaultPlan::new().next_n("relay.contact", FaultKind::RelayStuckContact, 1);
+        b.set_faults(&FaultInjector::new(&plan, 2), "relay.contact");
+        assert_eq!(
+            b.bypass(0, SimTime::ZERO).unwrap_err(),
+            BoardError::StuckContact(0)
+        );
+        // The contact never moved: route still battery, coil still low.
+        assert_eq!(b.verify(0).unwrap(), ChannelRoute::Battery);
+        // The next actuation succeeds.
+        b.bypass(0, SimTime::from_secs(1)).unwrap();
+        assert_eq!(b.verify(0).unwrap(), ChannelRoute::Bypass);
     }
 }

@@ -235,10 +235,17 @@ impl AccessServer {
     }
 
     /// Drain the whole queue (charging per build when billing is on).
+    /// Jobs waiting out supervised retry backoff are waited for.
     pub fn drain(&mut self) -> Vec<JobId> {
         let mut ran = Vec::new();
-        while let Some(id) = self.tick() {
-            ran.push(id);
+        loop {
+            if let Some(id) = self.tick() {
+                ran.push(id);
+                continue;
+            }
+            if !self.scheduler.wait_for_backoff(&mut self.nodes) {
+                break;
+            }
         }
         ran
     }
@@ -294,6 +301,33 @@ impl AccessServer {
         }
         self.last_accrual = now;
         report
+    }
+
+    /// Arm fault injection across the whole deployment: every enrolled
+    /// node's subsystems plus the scheduler's supervisor consult `injector`.
+    pub fn attach_faults(&mut self, injector: &batterylab_faults::FaultInjector) {
+        for node in self.nodes.values_mut() {
+            node.attach_faults(injector);
+        }
+        self.scheduler.supervisor_mut().attach_faults(injector);
+    }
+
+    /// Probe every enrolled node's health at `now` and record the outcome
+    /// in the registry. Returns `(name, healthy)` pairs in name order.
+    pub fn probe_nodes(&mut self, now: SimTime) -> Vec<(String, bool)> {
+        let names: Vec<String> = self.nodes.keys().cloned().collect();
+        let mut outcomes = Vec::with_capacity(names.len());
+        for name in names {
+            let healthy = self.scheduler.supervisor_mut().heartbeat_probe(&name, now);
+            let _ = self.registry.record_heartbeat(&name, now, healthy);
+            outcomes.push((name, healthy));
+        }
+        outcomes
+    }
+
+    /// Jobs still waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.scheduler.queue_len()
     }
 
     /// Direct node access for the evaluation harness (not part of the
@@ -408,6 +442,40 @@ mod tests {
             server.enroll_node(alice, vp2, "1.2.3.4", "hk:2", &PORTS, SimTime::ZERO),
             Err(ServerError::Auth(AuthError::Forbidden { .. }))
         ));
+    }
+
+    #[test]
+    fn factory_reset_racing_job_fails_cleanly() {
+        use crate::jobs::BuildState;
+
+        let (mut server, admin) = server_with_node();
+        let id = server
+            .submit_job(
+                admin,
+                "raced",
+                Constraints {
+                    max_retries: 1,
+                    ..Default::default()
+                },
+                Payload::Experiment(ExperimentSpec::measured(
+                    "acc-dev",
+                    Script::browser_workload("com.brave.browser", &["https://a.example"], 1),
+                )),
+            )
+            .unwrap();
+        // A maintenance factory reset lands between submission and
+        // dispatch, wiping the browser the job needs.
+        server
+            .node_mut("node1")
+            .unwrap()
+            .device_handle("acc-dev")
+            .unwrap()
+            .factory_reset();
+        server.drain();
+        // The job is terminal (after its retry budget), not lost or stuck.
+        let build = server.build(admin, id).unwrap();
+        assert!(matches!(build.state, BuildState::Failed(_)), "{build:?}");
+        assert_eq!(server.queue_len(), 0);
     }
 
     #[test]

@@ -131,6 +131,8 @@ pub struct QueuedJob {
     pub payload: Payload,
     /// Failed runs so far (retry bookkeeping).
     pub attempts: u32,
+    /// Supervision backoff: not placeable before this instant.
+    pub not_before: Option<SimTime>,
 }
 
 /// Boxed custom job logic, run against the executing vantage point.

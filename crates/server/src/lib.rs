@@ -24,6 +24,7 @@ pub mod remote;
 pub mod scheduler;
 pub mod slots;
 pub mod ssh;
+pub mod supervise;
 mod vantage_exec;
 
 pub use access::{AccessServer, ServerError};
@@ -41,4 +42,5 @@ pub use remote::ControllerShell;
 pub use scheduler::{Scheduler, DEFAULT_RETENTION};
 pub use slots::{Slot, SlotCalendar, SlotError};
 pub use ssh::{CommandHandler, SshClient, SshError, SshServer, SshSession};
+pub use supervise::{BreakerState, CircuitBreaker, RetryPolicy, Supervisor};
 pub use vantage_exec::{run_experiment, JobOutcome};

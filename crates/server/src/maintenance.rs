@@ -31,6 +31,11 @@ pub fn certificate_sweep(registry: &mut NodeRegistry, now: SimTime) -> Maintenan
         report.cert_renewed = true;
     }
     for node in registry.stale_cert_nodes() {
+        // A node whose last heartbeat failed is unreachable: leave it
+        // stale and let a later sweep push the cert once it recovers.
+        if !registry.node(&node).map(|n| n.healthy).unwrap_or(false) {
+            continue;
+        }
         registry
             .mark_cert_deployed(&node)
             .expect("stale node exists");
@@ -39,21 +44,17 @@ pub fn certificate_sweep(registry: &mut NodeRegistry, now: SimTime) -> Maintenan
     report
 }
 
-/// Ensure no idle vantage point has an energised Monsoon.
+/// Ensure no idle vantage point has an energised Monsoon. The socket
+/// state is read without actuating; only meters found on are toggled.
 pub fn power_safety_sweep(nodes: &mut BTreeMap<String, VantagePoint>) -> MaintenanceReport {
     let mut report = MaintenanceReport::default();
     for (name, vp) in nodes.iter_mut() {
-        // `power_monitor` toggles: probe by toggling, and if that turned it
-        // ON (meaning it was off), toggle back. If it turned OFF it was on
-        // — exactly the unsafe state we're sweeping for.
-        match vp.power_monitor() {
-            Ok(SocketState::Off) => {
+        if vp.meter_socket_state() == SocketState::On {
+            // On actuation fault, leave the meter for the next sweep
+            // rather than guessing at its state.
+            if let Ok(SocketState::Off) = vp.power_monitor() {
                 report.meters_powered_off.push(name.clone());
             }
-            Ok(SocketState::On) => {
-                let _ = vp.power_monitor(); // restore off
-            }
-            Err(_) => {}
         }
     }
     report
@@ -133,6 +134,49 @@ mod tests {
         // Second sweep: nothing on.
         let report2 = power_safety_sweep(&mut nodes);
         assert!(report2.meters_powered_off.is_empty());
+    }
+
+    #[test]
+    fn cert_deploy_skips_unreachable_node_until_recovery() {
+        let mut r = registry();
+        let later = SimTime::from_secs(70 * 24 * 3600);
+        // Node is down when the renewal sweep runs.
+        r.record_heartbeat("node1", later, false).unwrap();
+        let sweep = certificate_sweep(&mut r, later);
+        assert!(sweep.cert_renewed);
+        assert!(sweep.certs_deployed.is_empty(), "down node skipped");
+        assert_eq!(r.stale_cert_nodes(), vec!["node1".to_string()]);
+        // Node recovers: the next sweep pushes the cert.
+        r.record_heartbeat("node1", later, true).unwrap();
+        let sweep2 = certificate_sweep(&mut r, later);
+        assert!(!sweep2.cert_renewed);
+        assert_eq!(sweep2.certs_deployed, vec!["node1".to_string()]);
+        assert!(r.stale_cert_nodes().is_empty());
+    }
+
+    #[test]
+    fn power_safety_sweep_leaves_tripped_socket_for_next_pass() {
+        use batterylab_faults::{scoped_site, site, FaultInjector, FaultPlan};
+
+        let mut nodes = nodes();
+        nodes.get_mut("node1").unwrap().power_monitor().unwrap(); // meter on
+                                                                  // power_monitor retries 3 times internally: 4 faults exhaust the
+                                                                  // whole actuation attempt, so the sweep genuinely fails once.
+        let plan =
+            FaultPlan::new().socket_unreachable_next(&scoped_site("node1", site::POWER_SOCKET), 4);
+        let injector = FaultInjector::new(&plan, 7);
+        nodes.get_mut("node1").unwrap().attach_faults(&injector);
+
+        // The sweep sees the meter on but the actuation faults: the meter
+        // stays on and is not reported as handled.
+        let report = power_safety_sweep(&mut nodes);
+        assert!(report.meters_powered_off.is_empty());
+        assert_eq!(nodes["node1"].meter_socket_state(), SocketState::On);
+
+        // Fault consumed: next sweep powers the meter off.
+        let report2 = power_safety_sweep(&mut nodes);
+        assert_eq!(report2.meters_powered_off, vec!["node1".to_string()]);
+        assert_eq!(nodes["node1"].meter_socket_state(), SocketState::Off);
     }
 
     #[test]

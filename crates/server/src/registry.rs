@@ -74,6 +74,10 @@ pub struct NodeRecord {
     pub deployed_cert: Option<u64>,
     /// Enrolment instant.
     pub enrolled_at: SimTime,
+    /// Last heartbeat probe instant, if any probe has run.
+    pub last_heartbeat: Option<SimTime>,
+    /// Outcome of the most recent health probe (healthy until probed).
+    pub healthy: bool,
 }
 
 impl NodeRecord {
@@ -129,6 +133,8 @@ impl NodeRegistry {
             allowed_ips: vec![server_ip.to_string()],
             deployed_cert: Some(self.cert.serial),
             enrolled_at: now,
+            last_heartbeat: None,
+            healthy: true,
         };
         self.nodes.insert(name.to_string(), record);
         Ok(self.nodes.get(name).expect("just inserted"))
@@ -194,6 +200,31 @@ impl NodeRegistry {
             .ok_or_else(|| RegistryError::NoSuchNode(name.to_string()))?;
         node.deployed_cert = Some(serial);
         Ok(())
+    }
+
+    /// Record a heartbeat probe outcome for `name`.
+    pub fn record_heartbeat(
+        &mut self,
+        name: &str,
+        now: SimTime,
+        healthy: bool,
+    ) -> Result<(), RegistryError> {
+        let node = self
+            .nodes
+            .get_mut(name)
+            .ok_or_else(|| RegistryError::NoSuchNode(name.to_string()))?;
+        node.last_heartbeat = Some(now);
+        node.healthy = healthy;
+        Ok(())
+    }
+
+    /// Nodes whose most recent probe found them healthy.
+    pub fn healthy_nodes(&self) -> Vec<String> {
+        self.nodes
+            .values()
+            .filter(|n| n.healthy)
+            .map(|n| n.name.clone())
+            .collect()
     }
 
     /// Nodes whose deployed cert is stale.
@@ -291,6 +322,26 @@ mod tests {
         assert_eq!(r.stale_cert_nodes(), vec!["node1".to_string()]);
         r.mark_cert_deployed("node1").unwrap();
         assert!(r.stale_cert_nodes().is_empty());
+    }
+
+    #[test]
+    fn heartbeats_track_node_health() {
+        let mut r = registry();
+        assert_eq!(r.node("node1").unwrap().last_heartbeat, None);
+        assert!(r.node("node1").unwrap().healthy);
+        assert_eq!(r.healthy_nodes(), vec!["node1".to_string()]);
+
+        r.record_heartbeat("node1", SimTime::from_secs(30), false)
+            .unwrap();
+        let node = r.node("node1").unwrap();
+        assert_eq!(node.last_heartbeat, Some(SimTime::from_secs(30)));
+        assert!(!node.healthy);
+        assert!(r.healthy_nodes().is_empty());
+
+        r.record_heartbeat("node1", SimTime::from_secs(60), true)
+            .unwrap();
+        assert!(r.node("node1").unwrap().healthy);
+        assert!(r.record_heartbeat("ghost", SimTime::ZERO, true).is_err());
     }
 
     #[test]

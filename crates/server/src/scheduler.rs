@@ -12,6 +12,7 @@ use batterylab_telemetry::{Counter, Registry};
 
 use crate::jobs::{Artifact, BuildRecord, BuildState, Constraints, JobId, Payload, QueuedJob};
 use crate::slots::SlotCalendar;
+use crate::supervise::Supervisor;
 use crate::vantage_exec::{run_experiment, JobOutcome};
 
 /// Workspace retention: "available for several days".
@@ -52,6 +53,8 @@ pub struct Scheduler {
     /// Time-slot reservations (§3.1 "concurrent timed sessions").
     slots: SlotCalendar,
     telemetry: SchedulerTelemetry,
+    /// Supervision: per-node circuit breakers + retry backoff.
+    supervisor: Supervisor,
 }
 
 impl Scheduler {
@@ -65,7 +68,13 @@ impl Scheduler {
             busy: BTreeSet::new(),
             slots: SlotCalendar::new(),
             telemetry: SchedulerTelemetry::bind(&Registry::new()),
+            supervisor: Supervisor::new(0),
         }
+    }
+
+    /// The supervision layer (breakers, retry policy, heartbeats).
+    pub fn supervisor_mut(&mut self) -> &mut Supervisor {
+        &mut self.supervisor
     }
 
     /// Rebind telemetry to a shared registry (`scheduler.*` metrics).
@@ -77,6 +86,7 @@ impl Scheduler {
     /// In-place variant of [`Self::with_telemetry`].
     pub fn set_telemetry(&mut self, registry: &Registry) {
         self.telemetry = SchedulerTelemetry::bind(registry);
+        self.supervisor.set_telemetry(registry);
     }
 
     /// The reservation calendar.
@@ -124,6 +134,7 @@ impl Scheduler {
             constraints,
             payload,
             attempts: 0,
+            not_before: None,
         });
         self.telemetry.jobs_submitted.inc();
         id
@@ -148,8 +159,12 @@ impl Scheduler {
         &self,
         job: &QueuedJob,
         nodes: &mut BTreeMap<String, VantagePoint>,
+        available: &BTreeSet<String>,
     ) -> Option<(String, String)> {
         for (name, vp) in nodes.iter_mut() {
+            if !available.contains(name) {
+                continue; // circuit breaker open: node receives no work
+            }
             if let Some(required) = &job.constraints.node {
                 if required != name {
                     continue;
@@ -167,9 +182,13 @@ impl Scheduler {
                 if job.constraints.require_low_cpu && vp.pi_mut().sample_cpu() > LOW_CPU_THRESHOLD {
                     continue;
                 }
-                // Honour reservations at the device's current instant.
+                // Honour reservations and retry backoff at the device's
+                // current instant.
                 if let Ok(device) = vp.device_handle(serial) {
                     let now = device.with_sim(|s| s.now());
+                    if job.not_before.is_some_and(|nb| now < nb) {
+                        continue;
+                    }
                     if !self.slots.may_run(name, serial, &job.owner, now) {
                         continue;
                     }
@@ -186,12 +205,22 @@ impl Scheduler {
     /// Execution is synchronous on the virtual clock; the busy set still
     /// matters because `Custom` payloads may leave long-running state.
     pub fn tick(&mut self, nodes: &mut BTreeMap<String, VantagePoint>) -> Option<JobId> {
-        // Find the first job (FIFO) with a feasible placement.
-        let idx = self
-            .queue
+        // Breaker gating, decided once per tick (before queue iteration,
+        // which only holds shared borrows of self).
+        let node_nows: Vec<(String, SimTime)> = nodes
             .iter()
-            .enumerate()
-            .find_map(|(i, job)| self.placeable(job, nodes).map(|placement| (i, placement)));
+            .map(|(name, vp)| (name.clone(), vp_now(Some(vp)).unwrap_or(SimTime::ZERO)))
+            .collect();
+        let available: BTreeSet<String> = node_nows
+            .into_iter()
+            .filter(|(name, now)| self.supervisor.node_available(name, *now))
+            .map(|(name, _)| name)
+            .collect();
+        // Find the first job (FIFO) with a feasible placement.
+        let idx = self.queue.iter().enumerate().find_map(|(i, job)| {
+            self.placeable(job, nodes, &available)
+                .map(|placement| (i, placement))
+        });
         let (i, (node, device)) = idx?;
         let mut job = self.queue.remove(i).expect("index valid");
         self.busy.insert((node.clone(), device.clone()));
@@ -210,6 +239,8 @@ impl Scheduler {
         let id = job.id;
         let record = self.builds.get_mut(&id).expect("record exists");
         record.node = Some(node);
+        let now_on_node =
+            vp_now(nodes.get(record.node.as_deref().unwrap_or_default())).unwrap_or(SimTime::ZERO);
         match result {
             Ok(outcome) => {
                 record.state = BuildState::Succeeded;
@@ -217,11 +248,20 @@ impl Scheduler {
                 record.artifacts = outcome.artifacts;
                 record.finished_at = Some(outcome.finished_at);
                 self.telemetry.jobs_succeeded.inc();
+                let node = record.node.clone().unwrap_or_default();
+                self.supervisor.record_success(&node);
             }
             Err(err) if job.attempts < job.constraints.max_retries => {
-                // Transient failure budget left: back into the queue.
+                // Transient failure budget left: back into the queue with
+                // supervised backoff (capped exponential, seeded jitter).
                 record.state = BuildState::Queued;
                 job.attempts += 1;
+                let node = record.node.clone().unwrap_or_default();
+                self.supervisor.record_failure(&node, now_on_node);
+                job.not_before = self
+                    .supervisor
+                    .retry_backoff(&node, job.attempts)
+                    .map(|backoff| now_on_node + backoff);
                 self.telemetry.retries.inc();
                 self.telemetry.registry.event(
                     "scheduler.retry",
@@ -231,20 +271,65 @@ impl Scheduler {
             }
             Err(err) => {
                 record.state = BuildState::Failed(err);
-                record.finished_at = Some(vp_now(nodes.values().next()).unwrap_or(SimTime::ZERO));
+                record.finished_at = Some(now_on_node);
                 self.telemetry.jobs_failed.inc();
+                let node = record.node.clone().unwrap_or_default();
+                self.supervisor.record_failure(&node, now_on_node);
             }
         }
         Some(id)
     }
 
     /// Run the queue until nothing is placeable ("graceful drain").
+    /// Jobs waiting out supervised retry backoff are waited for: the
+    /// bench idles forward to the earliest `not_before` and dispatch
+    /// resumes, so a drain still runs every job that can ever run.
     pub fn drain(&mut self, nodes: &mut BTreeMap<String, VantagePoint>) -> Vec<JobId> {
         let mut ran = Vec::new();
-        while let Some(id) = self.tick(nodes) {
-            ran.push(id);
+        loop {
+            if let Some(id) = self.tick(nodes) {
+                ran.push(id);
+                continue;
+            }
+            if !self.wait_for_backoff(nodes) {
+                break; // backoff lapsed yet still unplaceable (breaker open)
+            }
         }
         ran
+    }
+
+    /// If queued jobs are only waiting out supervised retry backoff or an
+    /// open circuit breaker, idle every device forward to the earliest
+    /// instant dispatch could resume (`not_before` or a breaker's
+    /// half-open window). Returns whether any clock advanced (i.e.
+    /// whether another dispatch pass could help).
+    pub fn wait_for_backoff(&self, nodes: &mut BTreeMap<String, VantagePoint>) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        let backoff = self.queue.iter().filter_map(|j| j.not_before).min();
+        let reopen = self.supervisor.next_breaker_reopen();
+        let nb = match (backoff, reopen) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return false,
+        };
+        let mut advanced = false;
+        for vp in nodes.values() {
+            for serial in vp.list_devices() {
+                if let Ok(device) = vp.device_handle(&serial) {
+                    device.with_sim(|s| {
+                        let now = s.now();
+                        if now < nb {
+                            s.idle(nb - now);
+                            advanced = true;
+                        }
+                    });
+                }
+            }
+        }
+        advanced
     }
 
     /// Prune expired workspaces (artifacts dropped, record kept).

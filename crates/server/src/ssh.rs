@@ -12,6 +12,8 @@
 
 use std::collections::BTreeMap;
 
+use batterylab_faults::{site, FaultInjector, FaultKind};
+use batterylab_sim::SimTime;
 use batterylab_telemetry::{Counter, Histogram, Registry};
 use bytes::{Buf, BufMut, BytesMut};
 
@@ -36,6 +38,9 @@ pub enum SshError {
         /// Stderr-ish output.
         stderr: String,
     },
+    /// The session dropped mid-exchange (injected by the platform fault
+    /// plan); reconnect to continue.
+    SessionDropped,
 }
 
 impl std::fmt::Display for SshError {
@@ -49,6 +54,7 @@ impl std::fmt::Display for SshError {
             SshError::ExitNonZero { code, stderr } => {
                 write!(f, "remote command exited {code}: {stderr}")
             }
+            SshError::SessionDropped => write!(f, "ssh session dropped"),
         }
     }
 }
@@ -98,6 +104,7 @@ struct SshTelemetry {
     host_key_mismatches: Counter,
     execs: Counter,
     exec_failures: Counter,
+    session_drops: Counter,
     exec_bytes: Histogram,
 }
 
@@ -109,6 +116,7 @@ impl SshTelemetry {
             host_key_mismatches: registry.counter("ssh.host_key_mismatches"),
             execs: registry.counter("ssh.execs"),
             exec_failures: registry.counter("ssh.exec_failures"),
+            session_drops: registry.counter("ssh.session_drops"),
             exec_bytes: registry.histogram("ssh.exec_bytes"),
         }
     }
@@ -120,6 +128,12 @@ pub struct SshServer {
     authorized_keys: Vec<String>,
     sessions_served: u32,
     telemetry: SshTelemetry,
+    /// Platform fault plan: `SshSessionDrop` specs at `fault_site` tear
+    /// down the exec channel mid-exchange.
+    faults: FaultInjector,
+    fault_site: String,
+    /// sshd has no clock of its own; callers with sim time push it here.
+    fault_clock: SimTime,
 }
 
 impl SshServer {
@@ -130,7 +144,23 @@ impl SshServer {
             authorized_keys,
             sessions_served: 0,
             telemetry: SshTelemetry::bind(&Registry::new()),
+            faults: FaultInjector::disabled(),
+            fault_site: site::SSH_SESSION.to_string(),
+            fault_clock: SimTime::ZERO,
         }
+    }
+
+    /// Consult `injector` for `SshSessionDrop` faults under `site` on
+    /// every exec.
+    pub fn set_faults(&mut self, injector: &FaultInjector, site: &str) {
+        self.faults = injector.clone();
+        self.fault_site = site.to_string();
+    }
+
+    /// Advance the fault clock to `now` (monotone; sshd itself has no sim
+    /// clock, so the owner feeds it vantage-point time).
+    pub fn sync_fault_clock(&mut self, now: SimTime) {
+        self.fault_clock = self.fault_clock.max(now);
     }
 
     /// Rebind telemetry to a shared registry (`ssh.*` metrics).
@@ -227,6 +257,15 @@ impl SshSession<'_> {
         handler: &mut H,
         cmd: &str,
     ) -> Result<String, SshError> {
+        let now = self.server.fault_clock;
+        if self
+            .server
+            .faults
+            .check(&self.server.fault_site, FaultKind::SshSessionDrop, now)
+        {
+            self.server.telemetry.session_drops.inc();
+            return Err(SshError::SessionDropped);
+        }
         self.server.telemetry.execs.inc();
         // Client → server.
         let wire = encode_frame(cmd.as_bytes());
@@ -363,6 +402,28 @@ mod tests {
         assert_eq!(report.counter("ssh.execs"), 2);
         assert_eq!(report.counter("ssh.exec_failures"), 1);
         assert_eq!(report.histogram("ssh.exec_bytes").unwrap().count, 2);
+    }
+
+    #[test]
+    fn injected_session_drop_fails_one_exec() {
+        use batterylab_faults::FaultPlan;
+        let registry = Registry::new();
+        let mut server = SshServer::new("hk:n", vec!["fp:s".to_string()]).with_telemetry(&registry);
+        let plan = FaultPlan::new().next_n(site::SSH_SESSION, FaultKind::SshSessionDrop, 1);
+        server.set_faults(&FaultInjector::new(&plan, 11), site::SSH_SESSION);
+        server.sync_fault_clock(SimTime::from_secs(5));
+        let client = SshClient::new("fp:s");
+        let mut session = client.connect("n", &mut server).unwrap();
+        let mut handler = |_: &str| -> Result<String, String> { Ok("ok".to_string()) };
+        assert_eq!(
+            session.exec(&mut handler, "uptime").unwrap_err(),
+            SshError::SessionDropped
+        );
+        // The retried exec (plan exhausted) goes through.
+        assert_eq!(session.exec(&mut handler, "uptime").unwrap(), "ok");
+        let report = registry.snapshot();
+        assert_eq!(report.counter("ssh.session_drops"), 1);
+        assert_eq!(report.counter("ssh.execs"), 1, "dropped exec not counted");
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub struct Registry {
     inner: Arc<Inner>,
     journal: Journal,
     clock: VirtualClock,
+    /// Handle-local name prefix (see [`Registry::scoped`]). The storage
+    /// behind the handle is shared either way.
+    prefix: Option<Arc<str>>,
 }
 
 impl Registry {
@@ -38,21 +41,53 @@ impl Registry {
         Self::default()
     }
 
-    /// Get or create the counter named `name`. Resolve once and keep
-    /// the handle; bumping the handle is lock-free.
+    /// A handle onto the *same* registry that prepends `prefix.` to
+    /// every metric name it resolves. This is how per-node metrics stay
+    /// distinguishable after merging: give each vantage point
+    /// `registry.scoped("node1")` and its `power.samples` lands as
+    /// `node1.power.samples`. Scopes nest (`scoped("a").scoped("b")` →
+    /// `a.b.*`); journal and clock are shared and unprefixed.
+    pub fn scoped(&self, prefix: &str) -> Registry {
+        let combined = match &self.prefix {
+            Some(existing) => format!("{existing}.{prefix}"),
+            None => prefix.to_string(),
+        };
+        Registry {
+            inner: Arc::clone(&self.inner),
+            journal: self.journal.clone(),
+            clock: self.clock.clone(),
+            prefix: Some(combined.into()),
+        }
+    }
+
+    /// This handle's name prefix, if any.
+    pub fn prefix(&self) -> Option<&str> {
+        self.prefix.as_deref()
+    }
+
+    fn resolve(&self, name: &str) -> String {
+        match &self.prefix {
+            Some(prefix) => format!("{prefix}.{name}"),
+            None => name.to_string(),
+        }
+    }
+
+    /// Get or create the counter named `name` (under this handle's
+    /// prefix, if any). Resolve once and keep the handle; bumping the
+    /// handle is lock-free.
     pub fn counter(&self, name: &str) -> Counter {
         let mut map = self
             .inner
             .counters
             .lock()
             .unwrap_or_else(|e| e.into_inner());
-        map.entry(name.to_string()).or_default().clone()
+        map.entry(self.resolve(name)).or_default().clone()
     }
 
     /// Get or create the gauge named `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut map = self.inner.gauges.lock().unwrap_or_else(|e| e.into_inner());
-        map.entry(name.to_string()).or_default().clone()
+        map.entry(self.resolve(name)).or_default().clone()
     }
 
     /// Get or create the histogram named `name`.
@@ -62,7 +97,7 @@ impl Registry {
             .histograms
             .lock()
             .unwrap_or_else(|e| e.into_inner());
-        map.entry(name.to_string()).or_default().clone()
+        map.entry(self.resolve(name)).or_default().clone()
     }
 
     /// The run's event journal.
@@ -465,6 +500,35 @@ mod tests {
         assert_eq!(a.journal().dropped(), (1030 - 1024) + 1);
         let snap = a.journal().snapshot();
         assert_eq!(snap.last().unwrap().label, "late");
+    }
+
+    #[test]
+    fn scoped_handles_prefix_names_but_share_storage() {
+        let registry = Registry::new();
+        let node1 = registry.scoped("node1");
+        let node2 = registry.scoped("node2");
+        node1.counter("power.samples").add(10);
+        node2.counter("power.samples").add(3);
+        registry.counter("scheduler.completed").inc();
+        node1.gauge("queue").set(2);
+        node1.histogram("lat").record(7);
+        let report = registry.snapshot();
+        assert_eq!(report.counter("node1.power.samples"), 10);
+        assert_eq!(report.counter("node2.power.samples"), 3);
+        assert_eq!(report.counter("scheduler.completed"), 1);
+        assert_eq!(report.gauges["node1.queue"], 2);
+        assert_eq!(report.histogram("node1.lat").unwrap().count, 1);
+        // Scopes nest; the journal and clock stay shared and unprefixed.
+        let deep = node1.scoped("adb");
+        deep.counter("connects").inc();
+        deep.clock().advance_to(50);
+        deep.event("e", "d");
+        let report = registry.snapshot();
+        assert_eq!(report.counter("node1.adb.connects"), 1);
+        assert_eq!(report.at_micros, 50);
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(node1.prefix(), Some("node1"));
+        assert_eq!(registry.prefix(), None);
     }
 
     #[test]

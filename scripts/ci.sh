@@ -29,6 +29,14 @@ cargo test -q -p batterylab-tests --test parallel_determinism
 # identical to the per-sample reference path (noise-free and noisy).
 cargo test -q -p batterylab-tests --test sampling_fastpath
 
+# Bounded chaos soak (seconds, not minutes): experiment pipelines under
+# seeded fault schedules — no lost/duplicated jobs, billing conserved
+# across retries, every injected fault journaled. The second invocation
+# re-runs one fixed (seed, plan) at a different worker count; the soak
+# test asserts the merged telemetry is byte-identical.
+cargo run --release -q -p batterylab --bin blab -- chaos --seed 42 --runs 4 --intensity 1.0
+cargo test -q -p batterylab-tests --test chaos_soak
+
 # Wall-clock split: evaluation at jobs=1 vs every available core.
 # Prints the per-figure table and refreshes BENCH_eval.json.
 cargo run --release -q -p batterylab-bench --bin bench_eval
