@@ -11,7 +11,8 @@ use batterylab_faults::{scoped_site, site, FaultInjector};
 use batterylab_mirror::{EncoderConfig, MirrorSession, SessionError};
 use batterylab_net::{LinkProfile, VpnClient, VpnError, VpnLocation};
 use batterylab_power::{
-    Monsoon, MonsoonError, PowerSocket, SocketError, SocketState, MONSOON_RATE_HZ,
+    CheckpointStream, GapReport, Monsoon, MonsoonError, PowerSocket, SocketError, SocketState,
+    MONSOON_RATE_HZ,
 };
 use batterylab_relay::{BoardError, ChannelRoute, CircuitSwitch, RelayBoard};
 use batterylab_sim::{SimDuration, SimRng, SimTime, TimeSeries};
@@ -43,6 +44,9 @@ pub enum ControllerError {
     NoMeasurement,
     /// The requested operation would corrupt a measurement (§3.3).
     Unsafe(String),
+    /// A checkpointed measurement's salvaged segments failed verification;
+    /// the report carries the exact gap/overlap/corruption found.
+    Checkpoint(GapReport),
 }
 
 impl std::fmt::Display for ControllerError {
@@ -58,6 +62,7 @@ impl std::fmt::Display for ControllerError {
             ControllerError::MeasurementActive => write!(f, "a measurement is already running"),
             ControllerError::NoMeasurement => write!(f, "no measurement running"),
             ControllerError::Unsafe(m) => write!(f, "unsafe: {m}"),
+            ControllerError::Checkpoint(report) => write!(f, "checkpoint: {report}"),
         }
     }
 }
@@ -111,7 +116,10 @@ struct ActiveMeasurement {
     started: SimTime,
 }
 
-/// Pre-resolved telemetry handles (`controller.*` metrics).
+/// Pre-resolved telemetry handles. Counters live under the node-scoped
+/// prefix (`node1.controller.*`) so fleet-merged registries keep each
+/// node's controller metrics distinguishable; journal events and the
+/// clock go through the shared unscoped registry as before.
 struct ControllerTelemetry {
     registry: Registry,
     measurements_started: Counter,
@@ -124,15 +132,16 @@ struct ControllerTelemetry {
 }
 
 impl ControllerTelemetry {
-    fn bind(registry: &Registry) -> Self {
+    fn bind(registry: &Registry, node: &str) -> Self {
+        let scoped = registry.scoped(node);
         ControllerTelemetry {
-            measurements_started: registry.counter("controller.measurements_started"),
-            measurements_completed: registry.counter("controller.measurements_completed"),
-            measurements_aborted: registry.counter("controller.measurements_aborted"),
-            measurement_us: registry.histogram("controller.measurement_us"),
-            adb_commands: registry.counter("controller.adb_commands"),
-            socket_retries: registry.counter("controller.socket_retries"),
-            vpn_switches: registry.counter("controller.vpn_switches"),
+            measurements_started: scoped.counter("controller.measurements_started"),
+            measurements_completed: scoped.counter("controller.measurements_completed"),
+            measurements_aborted: scoped.counter("controller.measurements_aborted"),
+            measurement_us: scoped.histogram("controller.measurement_us"),
+            adb_commands: scoped.counter("controller.adb_commands"),
+            socket_retries: scoped.counter("controller.socket_retries"),
+            vpn_switches: scoped.counter("controller.vpn_switches"),
             registry: registry.clone(),
         }
     }
@@ -220,7 +229,7 @@ impl VantagePoint {
             active: None,
             past_measurements: Vec::new(),
             rng: rng.derive("vantage"),
-            telemetry: ControllerTelemetry::bind(&registry),
+            telemetry: ControllerTelemetry::bind(&registry, &config.name),
             registry,
             config,
             faults: FaultInjector::disabled(),
@@ -265,7 +274,7 @@ impl VantagePoint {
     /// In-place variant of [`Self::with_telemetry`].
     pub fn set_telemetry(&mut self, registry: &Registry) {
         self.registry = registry.clone();
-        self.telemetry = ControllerTelemetry::bind(registry);
+        self.telemetry = ControllerTelemetry::bind(registry, &self.config.name);
         self.monsoon.set_telemetry(registry);
         self.switch.set_telemetry(registry);
         for link in self.adb_links.values_mut() {
@@ -492,6 +501,76 @@ impl VantagePoint {
             self.monsoon
                 .sample_run_at_rate(&meter_side, active.started, duration, rate_hz)?;
         let _ = active.channel;
+        self.past_measurements
+            .push((active.serial.clone(), active.started, end));
+        self.telemetry.measurements_completed.inc();
+        self.telemetry
+            .measurement_us
+            .record((end - active.started).as_micros());
+        self.telemetry.registry.clock().advance_to(end.as_micros());
+        self.telemetry
+            .registry
+            .event("controller.measurement_completed", &active.serial);
+        Ok(MeasurementReport {
+            serial: active.serial,
+            voltage_v: run.voltage_v,
+            rate_hz,
+            samples: run.samples,
+            energy: run.energy,
+            window: (active.started, end),
+        })
+    }
+
+    /// As [`Self::stop_monitor_at_rate`] but crash-resumable: completed
+    /// sample segments are sealed into `stream` (which lives on durable
+    /// storage) as they are produced. If a previous attempt at this
+    /// measurement died mid-sampling, passing its surviving stream
+    /// salvages the sealed prefix — verified first — and samples only
+    /// the remainder; the report is bit-identical to what an
+    /// uninterrupted checkpointed run would have produced.
+    ///
+    /// A salvaged prefix that fails verification (gap, overlap, CRC
+    /// mismatch, inconsistent aggregates, plan mismatch) returns
+    /// [`ControllerError::Checkpoint`] and leaves the measurement
+    /// active, so the caller can retry with a fresh stream instead of
+    /// silently integrating a bad splice.
+    pub fn stop_monitor_checkpointed(
+        &mut self,
+        rate_hz: f64,
+        stream: &mut CheckpointStream,
+    ) -> Result<MeasurementReport, ControllerError> {
+        let active = self.active.take().ok_or(ControllerError::NoMeasurement)?;
+        let (_, device) = self.device(&active.serial)?;
+        let device = device.clone();
+        let end = device.with_sim(|s| s.now());
+        let duration = (end - active.started).as_secs_f64();
+        if duration <= 0.0 {
+            self.active = Some(active);
+            return Err(ControllerError::Unsafe(
+                "measurement window is empty: run the workload between start and stop".to_string(),
+            ));
+        }
+        let meter_side = self.switch.meter_side();
+        let run = match self.monsoon.sample_run_checkpointed(
+            &meter_side,
+            active.started,
+            duration,
+            rate_hz,
+            stream,
+        ) {
+            Ok(run) => run,
+            Err(MonsoonError::Checkpoint(report)) => {
+                // Measurement stays active: the device-side window is
+                // intact, only the splice was refused.
+                self.active = Some(active);
+                return Err(ControllerError::Checkpoint(report));
+            }
+            Err(e) => {
+                self.active = Some(active);
+                return Err(e.into());
+            }
+        };
+        self.pi.clear_source("monsoon-poll");
         self.past_measurements
             .push((active.serial.clone(), active.started, end));
         self.telemetry.measurements_completed.inc();
@@ -881,10 +960,10 @@ mod tests {
         vp.connect_vpn(VpnLocation::Japan).unwrap();
 
         let report = vp.telemetry().snapshot();
-        assert_eq!(report.counter("controller.measurements_started"), 1);
-        assert_eq!(report.counter("controller.measurements_completed"), 1);
-        assert_eq!(report.counter("controller.adb_commands"), 1);
-        assert_eq!(report.counter("controller.vpn_switches"), 1);
+        assert_eq!(report.counter("node1.controller.measurements_started"), 1);
+        assert_eq!(report.counter("node1.controller.measurements_completed"), 1);
+        assert_eq!(report.counter("node1.controller.adb_commands"), 1);
+        assert_eq!(report.counter("node1.controller.vpn_switches"), 1);
         assert_eq!(
             report.counter("power.samples"),
             report_run.samples.len() as u64
@@ -892,9 +971,10 @@ mod tests {
         assert!(report.counter("relay.actuations") >= 1);
         assert!(report.counter("adb.frames_tx") > 0);
         assert!(report.counter("mirror.encoded_bytes") > 0);
-        // One registry, five subsystem families reporting into it.
+        // One registry, five subsystem families reporting into it — the
+        // controller's under its node-scoped prefix.
         let families = report.families();
-        for family in ["controller", "power", "relay", "adb", "mirror"] {
+        for family in ["node1", "power", "relay", "adb", "mirror"] {
             assert!(
                 families.iter().any(|f| f == family),
                 "missing family {family}"
@@ -928,7 +1008,7 @@ mod tests {
             Err(ControllerError::Adb(_))
         ));
         let report = vp.telemetry().snapshot();
-        assert_eq!(report.counter("controller.socket_retries"), 1);
+        assert_eq!(report.counter("node1.controller.socket_retries"), 1);
         // Only node1's two faults fired; node9's never will.
         assert_eq!(injector.injected(), 2);
         assert!(report
@@ -956,9 +1036,64 @@ mod tests {
         vp.start_monitor(&serial).unwrap();
         vp.abort_monitor().unwrap();
         let report = vp.telemetry().snapshot();
-        assert_eq!(report.counter("controller.measurements_started"), 1);
-        assert_eq!(report.counter("controller.measurements_aborted"), 1);
-        assert_eq!(report.counter("controller.measurements_completed"), 0);
+        assert_eq!(report.counter("node1.controller.measurements_started"), 1);
+        assert_eq!(report.counter("node1.controller.measurements_aborted"), 1);
+        assert_eq!(report.counter("node1.controller.measurements_completed"), 0);
+    }
+
+    #[test]
+    fn checkpointed_stop_resumes_bit_identically() {
+        fn measured_vantage(seed: u64) -> (VantagePoint, String) {
+            let (mut vp, serial) = vantage(seed);
+            vp.power_monitor().unwrap();
+            vp.set_voltage(4.0).unwrap();
+            vp.batt_switch(&serial).unwrap();
+            vp.start_monitor(&serial).unwrap();
+            let device = vp.device_handle(&serial).unwrap();
+            device.with_sim(|s| {
+                s.set_screen(true);
+                s.play_video(SimDuration::from_secs(10));
+            });
+            (vp, serial)
+        }
+
+        // Uninterrupted checkpointed run.
+        let (mut vp, _) = measured_vantage(41);
+        let mut full_stream = CheckpointStream::new(250);
+        let full = vp
+            .stop_monitor_checkpointed(500.0, &mut full_stream)
+            .unwrap();
+
+        // Crash mid-sampling: only the first 7 sealed segments survive.
+        let (mut vp2, _) = measured_vantage(41);
+        let mut partial = CheckpointStream::new(250);
+        let _ = vp2.stop_monitor_checkpointed(500.0, &mut partial).unwrap();
+        partial.segments.truncate(7);
+        // The node restarts the measurement window identically and
+        // resumes from the salvaged stream.
+        let (mut vp3, _) = measured_vantage(41);
+        let resumed = vp3.stop_monitor_checkpointed(500.0, &mut partial).unwrap();
+        assert_eq!(full.samples.values(), resumed.samples.values());
+        assert_eq!(full.mah().to_bits(), resumed.mah().to_bits());
+        assert_eq!(full.energy.samples(), resumed.energy.samples());
+
+        // A corrupted salvage is rejected and the measurement survives.
+        let (mut vp4, _) = measured_vantage(41);
+        let mut bad = CheckpointStream::new(250);
+        let _ = vp4.stop_monitor_checkpointed(500.0, &mut bad).unwrap();
+        bad.segments.truncate(7);
+        bad.segments[3].samples[0] += 1.0;
+        let (mut vp5, _) = measured_vantage(41);
+        match vp5.stop_monitor_checkpointed(500.0, &mut bad) {
+            Err(ControllerError::Checkpoint(report)) => {
+                assert_eq!(report.segment, 3);
+            }
+            other => panic!("expected checkpoint rejection, got {other:?}"),
+        }
+        assert!(vp5.measurement_active(), "measurement must stay active");
+        let mut fresh = CheckpointStream::new(250);
+        let retried = vp5.stop_monitor_checkpointed(500.0, &mut fresh).unwrap();
+        assert_eq!(full.samples.values(), retried.samples.values());
     }
 
     #[test]

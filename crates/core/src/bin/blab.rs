@@ -77,16 +77,26 @@ fn usage() -> ! {
            stream   [--seconds N] [--mbps X]        measured adaptive-streaming workload\n\
            speedtest                       characterise the five VPN exits (Table 2)\n\
            latency  [--trials N]           click-to-display probe (§4.2)\n\
-           metrics  [--seconds N] [--json] run a seeded measured workload and dump\n\
+           metrics  [--seconds N] [--json] [--format prom]\n\
+                                           run a seeded measured workload and dump\n\
                                            the platform-wide telemetry snapshot\n\
+                                           (--format prom: Prometheus text format)\n\
            eval     [--quick] [--jobs N] [--out DIR] [--targets LIST]\n\
                                            regenerate the paper's §4 figures/tables;\n\
                                            --jobs 0 (default) uses every core — output\n\
                                            is byte-identical for any job count\n\
            chaos    [--runs N] [--intensity X] [--jobs N] [--json]\n\
                                            soak experiment pipelines under a seeded\n\
-                                           fault schedule and check the robustness\n\
-                                           invariants (exit 1 on any violation)\n\
+                                           fault schedule (incl. server crashes) and\n\
+                                           check the robustness invariants (exit 1 on\n\
+                                           any violation)\n\
+           recover  [--intensity X]        crash-point sweep: kill the server at every\n\
+                                           WAL record boundary, recover, and verify\n\
+                                           jobs/ledger/report survive byte-identically\n\
+           checkpoint [--seconds N] [--rate HZ] [--interval N] [--keep K]\n\
+                                           crash a checkpointed sample run after K\n\
+                                           sealed segments, resume it, and verify the\n\
+                                           aggregates match the uninterrupted run\n\
          \n\
          global: --seed N (default 42)"
     );
@@ -277,7 +287,9 @@ fn main() {
             vp.pump_mirrors().expect("mirror pump");
             let _ = vp.stop_monitor_at_rate(500.0).expect("report");
             let report = platform.metrics();
-            if args.flag("json") {
+            if args.get("format") == Some("prom") {
+                print!("{}", report.to_prometheus());
+            } else if args.flag("json") {
                 println!("{}", report.to_json());
             } else {
                 print!("{}", report.render_text());
@@ -397,8 +409,9 @@ fn main() {
                     report.runs, config.seed, config.intensity
                 );
                 println!(
-                    "  faults injected: {}   jobs: {} submitted, {} succeeded, {} failed",
+                    "  faults injected: {}   server crashes: {}   jobs: {} submitted, {} succeeded, {} failed",
                     report.faults_injected,
+                    report.server_crashes,
                     report.jobs_submitted,
                     report.jobs_succeeded,
                     report.jobs_failed
@@ -412,6 +425,88 @@ fn main() {
                 }
             }
             if !report.passed() {
+                std::process::exit(1);
+            }
+        }
+
+        "recover" => {
+            use batterylab::crashpoint::{sweep, CrashPointConfig};
+            let config = CrashPointConfig {
+                seed,
+                intensity: args
+                    .get("intensity")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.8),
+            };
+            let report = sweep(&config);
+            println!(
+                "crash-point sweep: seed {}, intensity {:.2}",
+                config.seed, config.intensity
+            );
+            println!(
+                "  WAL records: {}   prefix recoveries: {}   crash/continue cycles: {}",
+                report.wal_records, report.prefixes_checked, report.continuation_crashes
+            );
+            if report.passed() {
+                println!("  invariants: held at every record boundary");
+            } else {
+                for v in &report.violations {
+                    eprintln!("  VIOLATION: {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+
+        "checkpoint" => {
+            use batterylab::power::CheckpointStream;
+            let seconds = args.u64_or("seconds", 20);
+            let rate = args.u64_or("rate", 500) as f64;
+            let interval = args.u64_or("interval", 1000);
+            if seconds == 0 || rate <= 0.0 || interval == 0 {
+                eprintln!("checkpoint: --seconds, --rate and --interval must be positive");
+                std::process::exit(2);
+            }
+            let run = |stream: &mut CheckpointStream| {
+                let mut platform = Platform::paper_testbed(seed);
+                let serial = platform.j7_serial().to_string();
+                let vp = platform.node1();
+                vp.power_monitor().expect("socket");
+                vp.set_voltage(4.0).expect("voltage");
+                vp.batt_switch(&serial).expect("bypass");
+                vp.start_monitor(&serial).expect("armed");
+                let device = vp.device_handle(&serial).expect("device");
+                device.with_sim(|s| {
+                    s.set_screen(true);
+                    s.play_video(SimDuration::from_secs(seconds));
+                });
+                vp.stop_monitor_checkpointed(rate, stream)
+                    .expect("checkpointed measurement")
+            };
+
+            let mut full_stream = CheckpointStream::new(interval);
+            let full = run(&mut full_stream);
+            let sealed = full_stream.segments.len() as u64;
+            let keep = args.u64_or("keep", sealed / 2).min(sealed) as usize;
+
+            let mut salvage = CheckpointStream::new(interval);
+            let _ = run(&mut salvage);
+            salvage.segments.truncate(keep);
+            let resumed = run(&mut salvage);
+
+            println!(
+                "checkpointed run: {} samples @ {rate} Hz, {sealed} sealed segment(s) of {interval}",
+                full.samples.len()
+            );
+            println!("  crash kept {keep} segment(s); resume salvaged them and refilled the rest");
+            let identical = full.samples.values() == resumed.samples.values()
+                && full.mah().to_bits() == resumed.mah().to_bits();
+            println!(
+                "  uninterrupted: {:.6} mAh   resumed: {:.6} mAh   bit-identical: {}",
+                full.mah(),
+                resumed.mah(),
+                if identical { "yes" } else { "NO" }
+            );
+            if !identical {
                 std::process::exit(1);
             }
         }

@@ -20,8 +20,16 @@
 //!    `(seed, intensity, runs)` at any worker count (checked by the
 //!    soak test and `scripts/ci.sh` by comparing two executions).
 //!
+//! Every soak runs on the durable testbed: the server keeps a
+//! write-ahead log, and when the chaos schedule draws a
+//! [`FaultKind::ServerCrash`](batterylab_faults::FaultKind::ServerCrash)
+//! the harness kills the access server between drain rounds and rebuilds
+//! it from the WAL ([`Platform::crash_and_recover`]) — the invariants
+//! above must keep holding across the crash.
+//!
 //! `blab chaos --seed 42 --runs 4` runs the same harness from the CLI.
 
+use batterylab_durable::Wal;
 use batterylab_faults::{FaultInjector, FaultPlan};
 use batterylab_net::VpnLocation;
 use batterylab_server::{BuildState, Constraints, CreditLedger, ExperimentSpec, JobId, Payload};
@@ -68,6 +76,8 @@ pub struct ChaosReport {
     pub jobs_succeeded: u64,
     /// Jobs that finished `Failed` (after their retry budget).
     pub jobs_failed: u64,
+    /// Server crash/recovery cycles performed across all runs.
+    pub server_crashes: u64,
     /// Invariant violations (empty on a passing soak).
     pub violations: Vec<String>,
     /// The merged telemetry report, stitched in run order.
@@ -93,6 +103,7 @@ struct RunOutcome {
     submitted: u64,
     succeeded: u64,
     failed: u64,
+    crashes: u64,
     violations: Vec<String>,
 }
 
@@ -110,6 +121,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
         jobs_submitted: 0,
         jobs_succeeded: 0,
         jobs_failed: 0,
+        server_crashes: 0,
         violations: Vec::new(),
         report: merged.snapshot(),
     };
@@ -119,6 +131,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
         report.jobs_submitted += outcome.submitted;
         report.jobs_succeeded += outcome.succeeded;
         report.jobs_failed += outcome.failed;
+        report.server_crashes += outcome.crashes;
         report.violations.extend(
             outcome
                 .violations
@@ -134,7 +147,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
 /// experiment pipelines, invariant checks.
 fn soak_one(config: &ChaosConfig, index: usize) -> RunOutcome {
     let seed = par::run_seed(config.seed, "chaos", index);
-    let mut platform = Platform::paper_testbed(seed);
+    let (mut platform, wal) = Platform::durable_testbed(seed);
     let serial = platform.j7_serial().to_string();
 
     let mut plan_rng = SimRng::new(seed).derive("chaos-plan");
@@ -146,7 +159,7 @@ fn soak_one(config: &ChaosConfig, index: usize) -> RunOutcome {
 
     let ids = submit_batch(&mut platform, &serial);
     let submitted = ids.len() as u64;
-    drive_to_quiescence(&mut platform);
+    let crashes = drive_to_quiescence(&mut platform, &wal, &injector, plan.server_crashes());
 
     let mut violations = Vec::new();
     let (succeeded, failed) = check_jobs(&mut platform, &ids, &mut violations);
@@ -160,6 +173,7 @@ fn soak_one(config: &ChaosConfig, index: usize) -> RunOutcome {
         submitted,
         succeeded,
         failed,
+        crashes,
         violations,
     }
 }
@@ -167,7 +181,8 @@ fn soak_one(config: &ChaosConfig, index: usize) -> RunOutcome {
 /// The job batch every run drains: a plain measured browser run, a
 /// mirrored one, and one behind a VPN exit — together they cross every
 /// injection point (socket, meter, relay, ADB, encoder, VPN, SSH).
-fn submit_batch(platform: &mut Platform, serial: &str) -> Vec<JobId> {
+/// Shared with the crash-point sweep ([`crate::crashpoint`]).
+pub(crate) fn submit_batch(platform: &mut Platform, serial: &str) -> Vec<JobId> {
     let token = platform.experimenter_token;
     let retried = Constraints {
         max_retries: 4,
@@ -224,11 +239,44 @@ fn submit_batch(platform: &mut Platform, serial: &str) -> Vec<JobId> {
 /// schedule retry backoff; between drain passes the bench idles forward
 /// and health probes run, so reboot windows pass and breakers half-open
 /// — exactly the supervised recovery path the platform ships.
-fn drive_to_quiescence(platform: &mut Platform) {
+///
+/// If the chaos schedule drew `ServerCrash` faults, the first `crashes`
+/// drain rounds begin by killing the access server and rebuilding it
+/// from the write-ahead log: the in-memory scheduler, job table, ledger
+/// and directory are discarded and replayed, the surviving vantage
+/// points are re-adopted, and the fault injector is re-attached.
+/// Returns the number of crash/recovery cycles performed.
+fn drive_to_quiescence(
+    platform: &mut Platform,
+    wal: &Wal,
+    injector: &FaultInjector,
+    crashes: u32,
+) -> u64 {
+    let mut performed = 0u64;
+    let crash_once = |platform: &mut Platform, performed: &mut u64| {
+        *performed += 1;
+        platform.registry.event(
+            "fault.server_crash",
+            format!("wal records {}", wal.record_count()),
+        );
+        let recovery = Registry::new();
+        platform
+            .crash_and_recover(wal, &recovery)
+            .expect("recovery from a live WAL never fails");
+        platform.server.attach_faults(injector);
+    };
+    // The first crash lands before any job has run: every submission is
+    // still queued, so recovery must requeue all of them verbatim.
+    if crashes > 0 {
+        crash_once(platform, &mut performed);
+    }
     platform.server.drain();
     let mut rounds = 0;
     while platform.server.queue_len() > 0 && rounds < 50 {
         rounds += 1;
+        if performed < u64::from(crashes) {
+            crash_once(platform, &mut performed);
+        }
         let mut latest = SimTime::ZERO;
         for name in platform.server.node_names() {
             let vp = platform.server.node_mut(&name).expect("enrolled");
@@ -246,6 +294,7 @@ fn drive_to_quiescence(platform: &mut Platform) {
         platform.server.probe_nodes(latest);
         platform.server.drain();
     }
+    performed
 }
 
 /// Invariant 1: every job terminal exactly once, queue empty.
@@ -370,5 +419,22 @@ mod tests {
         assert!(report.passed(), "{:?}", report.violations);
         assert_eq!(report.jobs_submitted, 6);
         assert_eq!(report.jobs_succeeded + report.jobs_failed, 6);
+    }
+
+    #[test]
+    fn server_crashes_preserve_invariants() {
+        let report = run_chaos(&ChaosConfig {
+            seed: 13,
+            runs: 3,
+            intensity: 1.0,
+            jobs: 1,
+        });
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(
+            report.server_crashes > 0,
+            "chaos schedule never drew a server crash"
+        );
+        assert_eq!(report.jobs_submitted, 9);
+        assert_eq!(report.jobs_succeeded + report.jobs_failed, 9);
     }
 }

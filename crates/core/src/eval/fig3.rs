@@ -252,7 +252,8 @@ mod tests {
         let config = EvalConfig::quick(13);
         let a = run(&config);
         let families = a.metrics.families();
-        for family in ["power", "relay", "adb", "mirror", "controller", "scheduler"] {
+        // The controller family reports under its node-scoped prefix.
+        for family in ["power", "relay", "adb", "mirror", "node1", "scheduler"] {
             assert!(
                 families.iter().any(|f| f == family),
                 "missing family {family}: {families:?}"

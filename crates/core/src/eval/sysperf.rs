@@ -48,7 +48,7 @@ pub struct SysPerfTelemetry {
     /// Samples the measurement report actually carries (probe side).
     pub probe_power_samples: u64,
     /// Measurements completed on the node
-    /// (`controller.measurements_completed`).
+    /// (`node1.controller.measurements_completed`).
     pub measurements_completed: u64,
     /// ADB frames sent while driving the workload (`adb.frames_tx`).
     pub adb_frames_tx: u64,
@@ -166,7 +166,7 @@ fn run_phase(config: &EvalConfig, mirroring: bool) -> Phase {
                 encoded_bytes: metrics.counter("mirror.encoded_bytes"),
                 power_samples: metrics.counter("power.samples"),
                 probe_power_samples: report.samples.len() as u64,
-                measurements_completed: metrics.counter("controller.measurements_completed"),
+                measurements_completed: metrics.counter("node1.controller.measurements_completed"),
                 adb_frames_tx: metrics.counter("adb.frames_tx"),
             },
         })

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod crashpoint;
 pub mod eval;
 pub mod platform;
 
@@ -48,6 +49,8 @@ pub use batterylab_automation as automation;
 pub use batterylab_controller as controller;
 /// Re-export: Android device simulator.
 pub use batterylab_device as device;
+/// Re-export: crash-consistent durability (WAL, checkpoints).
+pub use batterylab_durable as durable;
 /// Re-export: deterministic fault injection.
 pub use batterylab_faults as faults;
 /// Re-export: device mirroring.

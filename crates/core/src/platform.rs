@@ -4,7 +4,8 @@
 
 use batterylab_controller::{VantageConfig, VantagePoint};
 use batterylab_device::{boot_j7_duo, AndroidDevice};
-use batterylab_server::{AccessServer, Role};
+use batterylab_durable::Wal;
+use batterylab_server::{AccessServer, Role, ServerError};
 use batterylab_sim::{SimRng, SimTime};
 use batterylab_telemetry::{Registry, Report};
 use batterylab_workloads::BrowserProfile;
@@ -74,6 +75,48 @@ impl Platform {
         }
     }
 
+    /// The paper testbed with crash-consistent durability: a fresh
+    /// write-ahead log is attached to the server (snapshotting the
+    /// boot-time directory, billing state and enrolments), so the
+    /// deployment can be killed at any record boundary and rebuilt with
+    /// [`Platform::crash_and_recover`].
+    pub fn durable_testbed(seed: u64) -> (Platform, Wal) {
+        let platform = Self::paper_testbed(seed);
+        let wal = Wal::new();
+        wal.set_telemetry(&platform.registry);
+        let mut platform = platform;
+        platform.server.attach_wal(&wal);
+        (platform, wal)
+    }
+
+    /// Kill the access server's in-memory state and rebuild it from the
+    /// write-ahead log — the crash model the paper's cloud tier needs:
+    /// the server process dies, but the vantage points (and their
+    /// devices), the platform registry and the WAL's disk all survive.
+    ///
+    /// The recovered server re-adopts the surviving nodes, rebinds the
+    /// shared telemetry registry and re-issues console sessions (they
+    /// are deliberately ephemeral — tokens restart from 1). Recovery
+    /// metrics (`durable.recoveries`, `durable.replayed_records`,
+    /// `durable.torn_bytes`) land in the separate `recovery_telemetry`
+    /// registry so the platform-wide report stays byte-comparable with
+    /// an uninterrupted run.
+    pub fn crash_and_recover(
+        &mut self,
+        wal: &Wal,
+        recovery_telemetry: &Registry,
+    ) -> Result<(), ServerError> {
+        let recovered = AccessServer::recover(wal, recovery_telemetry)?;
+        let dead = std::mem::replace(&mut self.server, recovered);
+        for (_, vp) in dead.take_nodes() {
+            self.server.adopt_node(vp)?;
+        }
+        self.server.set_telemetry(&self.registry);
+        self.admin_token = self.server.login("admin", "bootstrap-pw", true)?.token;
+        self.experimenter_token = self.server.login("alice", "alice-pw", true)?.token;
+        Ok(())
+    }
+
     /// Snapshot the platform-wide metrics (deterministic under a fixed
     /// seed: all timestamps come from the sim virtual clock).
     pub fn metrics(&self) -> Report {
@@ -134,7 +177,7 @@ mod tests {
         let serial = p.j7_serial().to_string();
         p.node1().execute_adb(&serial, "echo hi").unwrap();
         let report = p.metrics();
-        assert_eq!(report.counter("controller.adb_commands"), 1);
+        assert_eq!(report.counter("node1.controller.adb_commands"), 1);
         assert!(report.counter("adb.frames_tx") > 0);
     }
 

@@ -1,0 +1,292 @@
+//! A framed write-ahead log over a [`SimDisk`].
+//!
+//! Records are opaque payload bytes framed as
+//! `[len: u32 LE][crc32: u32 LE][payload]`. Every append is followed by
+//! an fsync barrier, so a record either survives a crash whole or not
+//! at all — except for a torn tail, which [`Wal::replay`] detects (short
+//! frame or CRC mismatch) and truncates before handing records back.
+//!
+//! A `Wal` is a cheap clonable handle onto shared state: the access
+//! server and its scheduler both hold one and append to the same log.
+//! The *disk* survives a simulated server crash even though the server's
+//! memory does not, which is exactly the property recovery relies on.
+
+use std::sync::{Arc, Mutex};
+
+use batterylab_telemetry::{Counter, Registry};
+
+use crate::disk::{crc32, SimDisk};
+
+const FRAME_HEADER: usize = 8;
+
+#[derive(Default)]
+struct WalTelemetry {
+    records: Option<Counter>,
+    bytes: Option<Counter>,
+    fsyncs: Option<Counter>,
+}
+
+struct WalInner {
+    disk: SimDisk,
+    records: u64,
+    enabled: bool,
+    telemetry: WalTelemetry,
+}
+
+/// Clonable handle to a shared write-ahead log.
+#[derive(Clone)]
+pub struct Wal {
+    inner: Arc<Mutex<WalInner>>,
+}
+
+impl Default for Wal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Wal {
+    /// A fresh, enabled log on an empty disk.
+    pub fn new() -> Self {
+        Wal {
+            inner: Arc::new(Mutex::new(WalInner {
+                disk: SimDisk::new(),
+                records: 0,
+                enabled: true,
+                telemetry: WalTelemetry::default(),
+            })),
+        }
+    }
+
+    /// A disabled log: appends are no-ops. This is the default wiring so
+    /// components that never opted into durability pay nothing.
+    pub fn disabled() -> Self {
+        Wal {
+            inner: Arc::new(Mutex::new(WalInner {
+                disk: SimDisk::new(),
+                records: 0,
+                enabled: false,
+                telemetry: WalTelemetry::default(),
+            })),
+        }
+    }
+
+    /// Whether appends actually persist.
+    pub fn is_enabled(&self) -> bool {
+        self.lock().enabled
+    }
+
+    /// Bind `durable.*` WAL metrics into `registry`. Only appends count;
+    /// replay reads the disk without touching these.
+    pub fn set_telemetry(&self, registry: &Registry) {
+        let mut inner = self.lock();
+        inner.telemetry = WalTelemetry {
+            records: Some(registry.counter("durable.wal_records")),
+            bytes: Some(registry.counter("durable.wal_bytes")),
+            fsyncs: Some(registry.counter("durable.wal_fsyncs")),
+        };
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WalInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append one record and fsync it. Returns the record's index, or
+    /// `None` when the log is disabled.
+    pub fn append(&self, payload: &[u8]) -> Option<u64> {
+        let mut inner = self.lock();
+        if !inner.enabled {
+            return None;
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        inner.disk.write(&frame);
+        inner.disk.fsync();
+        inner.records += 1;
+        let index = inner.records;
+        if let Some(c) = &inner.telemetry.records {
+            c.inc();
+        }
+        if let Some(c) = &inner.telemetry.bytes {
+            c.add(frame.len() as u64);
+        }
+        if let Some(c) = &inner.telemetry.fsyncs {
+            c.inc();
+        }
+        Some(index)
+    }
+
+    /// Append one record *without* the fsync barrier — it sits in the
+    /// disk's unsynced tail and is lost (or torn) on crash. Used by the
+    /// torn-write tests; the production path always uses [`Wal::append`].
+    pub fn append_unsynced(&self, payload: &[u8]) {
+        let mut inner = self.lock();
+        if !inner.enabled {
+            return;
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        inner.disk.write(&frame);
+    }
+
+    /// Simulate a power loss on the backing disk: the unsynced tail is
+    /// dropped except for its first `torn_keep` bytes.
+    pub fn crash_disk(&self, torn_keep: usize) {
+        self.lock().disk.crash(torn_keep);
+    }
+
+    /// Records appended (and fsynced) so far.
+    pub fn record_count(&self) -> u64 {
+        self.lock().records
+    }
+
+    /// Total durable bytes on disk.
+    pub fn durable_len(&self) -> usize {
+        self.lock().disk.durable_bytes().len()
+    }
+
+    /// Parse the durable region into whole records, truncating any torn
+    /// tail (short frame or CRC mismatch) from the disk. Returns the
+    /// record payloads and the number of torn bytes discarded.
+    pub fn replay(&self) -> (Vec<Vec<u8>>, usize) {
+        let mut inner = self.lock();
+        let bytes = inner.disk.durable_bytes().to_vec();
+        let mut records = Vec::new();
+        let mut offset = 0usize;
+        while bytes.len() - offset >= FRAME_HEADER {
+            let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+            let start = offset + FRAME_HEADER;
+            if bytes.len() - start < len {
+                break; // torn frame: payload missing bytes
+            }
+            let payload = &bytes[start..start + len];
+            if crc32(payload) != crc {
+                break; // torn frame: payload corrupted mid-write
+            }
+            records.push(payload.to_vec());
+            offset = start + len;
+        }
+        let torn = bytes.len() - offset;
+        if torn > 0 {
+            inner.disk.truncate_durable(offset);
+        }
+        // Reopening adopts the surviving record count so appends after
+        // recovery continue the same sequence.
+        inner.records = records.len() as u64;
+        (records, torn)
+    }
+
+    /// A new, independent log whose durable bytes are the first `k`
+    /// whole records of this one. This is how the crash-point sweep
+    /// tests recovery from *every* record boundary, including boundaries
+    /// that fall inside a multi-record server call.
+    pub fn prefix(&self, k: u64) -> Wal {
+        let (records, _) = self.replay();
+        let out = Wal::new();
+        for payload in records.into_iter().take(k as usize) {
+            out.append(&payload);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let wal = Wal::new();
+        wal.append(b"one");
+        wal.append(b"two");
+        let (records, torn) = wal.replay();
+        assert_eq!(records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(torn, 0);
+        assert_eq!(wal.record_count(), 2);
+    }
+
+    #[test]
+    fn unsynced_record_is_lost_on_crash() {
+        let wal = Wal::new();
+        wal.append(b"synced");
+        wal.append_unsynced(b"lost");
+        wal.crash_disk(0);
+        let (records, torn) = wal.replay();
+        assert_eq!(records, vec![b"synced".to_vec()]);
+        assert_eq!(torn, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_replay() {
+        let wal = Wal::new();
+        wal.append(b"synced");
+        wal.append_unsynced(b"torn-record-payload");
+        // Half the torn frame reaches the platter.
+        wal.crash_disk(10);
+        let before = wal.durable_len();
+        let (records, torn) = wal.replay();
+        assert_eq!(records, vec![b"synced".to_vec()]);
+        assert_eq!(torn, 10);
+        assert_eq!(wal.durable_len(), before - 10);
+        // A second replay sees a clean log.
+        let (records, torn) = wal.replay();
+        assert_eq!(records.len(), 1);
+        assert_eq!(torn, 0);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc_and_truncates() {
+        let wal = Wal::new();
+        wal.append(b"good");
+        // Hand-build a frame whose CRC doesn't match its payload.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&4u32.to_le_bytes());
+        frame.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        frame.extend_from_slice(b"evil");
+        {
+            let mut inner = wal.lock();
+            inner.disk.write(&frame);
+            inner.disk.fsync();
+        }
+        let (records, torn) = wal.replay();
+        assert_eq!(records, vec![b"good".to_vec()]);
+        assert_eq!(torn, frame.len());
+    }
+
+    #[test]
+    fn disabled_wal_ignores_appends() {
+        let wal = Wal::disabled();
+        assert_eq!(wal.append(b"x"), None);
+        assert_eq!(wal.record_count(), 0);
+        assert!(!wal.is_enabled());
+    }
+
+    #[test]
+    fn prefix_extracts_whole_records() {
+        let wal = Wal::new();
+        for i in 0..5u8 {
+            wal.append(&[i]);
+        }
+        let p = wal.prefix(3);
+        let (records, _) = p.replay();
+        assert_eq!(records, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(wal.record_count(), 5);
+    }
+
+    #[test]
+    fn telemetry_counts_appends() {
+        let registry = Registry::new();
+        let wal = Wal::new();
+        wal.set_telemetry(&registry);
+        wal.append(b"abc");
+        let report = registry.snapshot();
+        assert_eq!(report.counter("durable.wal_records"), 1);
+        assert_eq!(report.counter("durable.wal_fsyncs"), 1);
+        assert_eq!(report.counter("durable.wal_bytes"), 8 + 3);
+    }
+}

@@ -55,6 +55,9 @@ pub mod site {
     pub const NET_VPN: &str = "net.vpn";
     /// The vantage point as a whole (reboot windows).
     pub const NODE: &str = "node";
+    /// The access-server process itself (crash faults). Unlike the node
+    /// sites this one is never node-scoped: there is one server.
+    pub const SERVER_PROCESS: &str = "server.process";
 }
 
 /// Scope a site suffix to a node: `scoped_site("node1", site::POWER_SOCKET)`
@@ -84,6 +87,10 @@ pub enum FaultKind {
     EncoderStall,
     /// The whole vantage point reboots (unhealthy for a window).
     NodeReboot,
+    /// The access server's process dies (memory lost; WAL disk and the
+    /// vantage points survive). The soak harness consults this spec to
+    /// decide when to kill and recover the server.
+    ServerCrash,
 }
 
 impl FaultKind {
@@ -99,6 +106,7 @@ impl FaultKind {
             FaultKind::RelayStuckContact => "relay_stuck_contact",
             FaultKind::EncoderStall => "encoder_stall",
             FaultKind::NodeReboot => "node_reboot",
+            FaultKind::ServerCrash => "server_crash",
         }
     }
 }
@@ -289,7 +297,26 @@ impl FaultPlan {
                 from + batterylab_sim::SimDuration::from_secs(8),
             );
         }
+        // A server crash mid-run: the soak harness kills the access
+        // server at a WAL record boundary and recovers it from the log.
+        // Drawn last so earlier specs are unchanged for existing seeds.
+        if rng.chance(0.5 * intensity) {
+            plan = plan.next_n(site::SERVER_PROCESS, FaultKind::ServerCrash, 1);
+        }
         plan
+    }
+
+    /// How many server-crash injections the plan schedules (the soak
+    /// harness crashes and recovers the server that many times).
+    pub fn server_crashes(&self) -> u32 {
+        self.specs
+            .iter()
+            .filter(|s| s.kind == FaultKind::ServerCrash)
+            .map(|s| match s.trigger {
+                Trigger::Count(n) => n,
+                _ => 1,
+            })
+            .sum()
     }
 }
 

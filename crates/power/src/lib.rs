@@ -15,6 +15,7 @@ mod socket;
 mod source;
 
 pub use battery::Battery;
+pub use batterylab_durable::{CheckpointStream, GapKind, GapReport, SealedSegment};
 pub use battor::{
     BattOr, BattOrError, BattOrLog, BATTOR_BUFFER_SAMPLES, BATTOR_RATE_HZ, BATTOR_RUNTIME_S,
 };

@@ -11,6 +11,7 @@
 //! power socket (see [`crate::socket`]) — the paper keeps the meter off
 //! when idle "for safety reasons".
 
+use batterylab_durable::{CheckpointStream, GapReport};
 use batterylab_faults::{FaultInjector, FaultKind};
 use batterylab_sim::{SimRng, SimTime, TimeSeries};
 use batterylab_stats::EnergyAccumulator;
@@ -48,6 +49,9 @@ pub enum MonsoonError {
     },
     /// Operation requires Vout enabled.
     OutputDisabled,
+    /// A checkpointed run's salvaged prefix failed verification (gap,
+    /// overlap, corruption or plan mismatch) and was NOT integrated.
+    Checkpoint(GapReport),
 }
 
 impl std::fmt::Display for MonsoonError {
@@ -61,6 +65,7 @@ impl std::fmt::Display for MonsoonError {
                 write!(f, "over-current {current_ma:.0} mA at {at}")
             }
             MonsoonError::OutputDisabled => write!(f, "Vout is disabled"),
+            MonsoonError::Checkpoint(report) => write!(f, "{report}"),
         }
     }
 }
@@ -428,6 +433,170 @@ impl Monsoon {
         Ok(SampleRun {
             samples,
             energy,
+            voltage_v: self.voltage_v,
+        })
+    }
+
+    /// Crash-resumable sampling: the run is split into
+    /// `stream.interval()`-sample segments, each sealed (values + CRC +
+    /// cumulative [`EnergyAccumulator`] snapshot) into `stream` as it
+    /// completes. `stream` lives on the simulated durable disk, so a
+    /// crash mid-run loses at most the unsealed segment in flight.
+    ///
+    /// Calling again with the same arguments and the surviving stream
+    /// **resumes** at the last checkpoint boundary: the sealed prefix is
+    /// verified first (CRC, contiguity, cumulative bit-consistency —
+    /// a bad splice returns [`MonsoonError::Checkpoint`] instead of a
+    /// silently wrong total) and only the missing segments are sampled.
+    /// Per-segment noise streams are derived from the run rng by
+    /// `(start, segment)` label, so a resumed run reproduces exactly the
+    /// samples the uninterrupted run would have produced — aggregates
+    /// are bit-identical. This derivation makes the checkpointed path's
+    /// noise sequence deliberately different from [`Self::sample_run`]'s
+    /// (which draws one rng stream across the whole run); the two paths
+    /// are separate modes, not bit-compatible with each other.
+    pub fn sample_run_checkpointed(
+        &mut self,
+        load: &dyn CurrentSource,
+        start: SimTime,
+        duration_s: f64,
+        rate_hz: f64,
+        stream: &mut CheckpointStream,
+    ) -> Result<SampleRun, MonsoonError> {
+        if !self.powered {
+            return Err(MonsoonError::PoweredOff);
+        }
+        if !self.vout_enabled {
+            return Err(MonsoonError::OutputDisabled);
+        }
+        assert!(duration_s > 0.0, "sampling duration must be positive");
+        assert!(
+            rate_hz > 0.0 && rate_hz <= MONSOON_RATE_HZ,
+            "rate 0..=5000 Hz"
+        );
+        // Same fault gating as the plain paths. A sag that held during
+        // the original attempt but not the resume shows up as a voltage
+        // plan mismatch — detected, not silently spliced.
+        if self
+            .faults
+            .check(&self.fault_site, FaultKind::MeterBrownout, start)
+        {
+            self.set_powered(false);
+            return Err(MonsoonError::PoweredOff);
+        }
+        if self
+            .faults
+            .check(&self.fault_site, FaultKind::OverCurrent, start)
+        {
+            self.telemetry.overcurrent_trips.inc();
+            self.telemetry
+                .registry
+                .event("power.overcurrent", format!("forced trip at {start}"));
+            return Err(MonsoonError::OverCurrent {
+                at: start,
+                current_ma: MAX_CONTINUOUS_MA,
+            });
+        }
+        let nominal_v = self.voltage_v;
+        if self
+            .faults
+            .check(&self.fault_site, FaultKind::VoltageSag, start)
+        {
+            self.voltage_v = (nominal_v * 0.92).max(VOLTAGE_RANGE.0);
+        }
+        let result = self.checkpointed_body(load, start, duration_s, rate_hz, stream);
+        self.voltage_v = nominal_v;
+        result
+    }
+
+    fn checkpointed_body(
+        &mut self,
+        load: &dyn CurrentSource,
+        start: SimTime,
+        duration_s: f64,
+        rate_hz: f64,
+        stream: &mut CheckpointStream,
+    ) -> Result<SampleRun, MonsoonError> {
+        let n = (duration_s * rate_hz).round() as u64;
+        let period_us = (1e6 / rate_hz).round() as u64;
+        // Verify the salvaged prefix BEFORE integrating any of it.
+        stream.verify().map_err(MonsoonError::Checkpoint)?;
+        stream
+            .configure(rate_hz, self.voltage_v, n)
+            .map_err(MonsoonError::Checkpoint)?;
+        let salvaged = stream.sealed_samples();
+        let cal = self.calibration;
+        let interval = stream.interval();
+        let mut cumulative = stream.final_energy();
+        let segments_total = n.div_ceil(interval);
+        let mut values = Vec::with_capacity(interval.min(n) as usize);
+        for i in stream.next_segment()..segments_total {
+            // Noise derived per (run start, segment): pure of how much of
+            // the parent stream any earlier attempt consumed.
+            let mut seg_rng = self.rng.derive(&format!("ckpt/{}/{i}", start.as_micros()));
+            let first = i * interval;
+            let len = interval.min(n - first);
+            values.clear();
+            for k in 0..len {
+                let t = SimTime::from_micros(start.as_micros() + (first + k) * period_us);
+                let true_ma = load.current_ma(t, self.voltage_v);
+                if true_ma > MAX_CONTINUOUS_MA {
+                    // Samples drawn before the trip stay accounted; the
+                    // in-flight segment is NOT sealed.
+                    self.total_samples += k;
+                    self.telemetry.samples.add(k);
+                    self.telemetry.overcurrent_trips.inc();
+                    self.telemetry.registry.event(
+                        "power.overcurrent",
+                        format!("{current:.0} mA at {t}", current = true_ma),
+                    );
+                    return Err(MonsoonError::OverCurrent {
+                        at: t,
+                        current_ma: true_ma,
+                    });
+                }
+                let noisy = true_ma * cal.gain + cal.offset_ma + seg_rng.normal(0.0, cal.noise_ma);
+                values.push(((noisy / cal.lsb_ma).round() * cal.lsb_ma).max(0.0));
+            }
+            cumulative.push_slice(&values, self.voltage_v);
+            self.chunk_ua.clear();
+            self.chunk_ua
+                .extend(values.iter().map(|&ma| (ma * 1000.0).round() as u64));
+            self.telemetry.sample_ua.record_slice(&self.chunk_ua);
+            self.total_samples += len;
+            self.telemetry.samples.add(len);
+            stream.seal(&values, &cumulative);
+            self.telemetry
+                .registry
+                .counter("durable.checkpoints_sealed")
+                .inc();
+        }
+        // The run's trace is the sealed stream, salvaged prefix included.
+        let all = stream.concat_values();
+        let times: Vec<SimTime> = (0..n)
+            .map(|k| SimTime::from_micros(start.as_micros() + k * period_us))
+            .collect();
+        let mut samples = TimeSeries::with_capacity(n as usize);
+        samples.extend_from_slices(&times, &all);
+        if salvaged > 0 {
+            self.telemetry
+                .registry
+                .counter("durable.samples_salvaged")
+                .add(salvaged);
+            self.telemetry.registry.event(
+                "durable.resume",
+                format!("salvaged {salvaged} of {n} samples from sealed checkpoints"),
+            );
+        }
+        self.telemetry.runs.inc();
+        self.telemetry.run_us.record(n * period_us);
+        self.telemetry
+            .registry
+            .clock()
+            .advance_to(start.as_micros() + n * period_us);
+        Ok(SampleRun {
+            samples,
+            energy: stream.final_energy(),
             voltage_v: self.voltage_v,
         })
     }
@@ -833,6 +1002,101 @@ mod tests {
             .unwrap();
         assert_eq!(healthy.voltage_v, 4.0);
         assert_eq!(m.voltage(), 4.0);
+    }
+
+    #[test]
+    fn checkpointed_resume_is_bit_identical() {
+        let load = ConstantLoad::new(150.0, 4.0);
+        // Uninterrupted checkpointed run.
+        let mut full_stream = CheckpointStream::new(100);
+        let full = powered_monsoon(31)
+            .sample_run_checkpointed(&load, SimTime::ZERO, 1.0, 1000.0, &mut full_stream)
+            .unwrap();
+        // Interrupted run: crash after 4 sealed segments (400 samples),
+        // modelled by keeping only the sealed prefix.
+        let mut partial = CheckpointStream::new(100);
+        let _ = powered_monsoon(31)
+            .sample_run_checkpointed(&load, SimTime::ZERO, 1.0, 1000.0, &mut partial)
+            .unwrap();
+        partial.segments.truncate(4);
+        let registry = Registry::new();
+        let mut resumed_meter = powered_monsoon(31);
+        resumed_meter.set_telemetry(&registry);
+        resumed_meter.set_powered(true);
+        resumed_meter.set_voltage(4.0).unwrap();
+        resumed_meter.enable_vout().unwrap();
+        let resumed = resumed_meter
+            .sample_run_checkpointed(&load, SimTime::ZERO, 1.0, 1000.0, &mut partial)
+            .unwrap();
+        // Bit-identical trace and aggregates.
+        assert_eq!(full.samples.values(), resumed.samples.values());
+        assert_eq!(full.energy.mah().to_bits(), resumed.energy.mah().to_bits());
+        assert_eq!(full.energy.mwh().to_bits(), resumed.energy.mwh().to_bits());
+        assert_eq!(full.energy.samples(), resumed.energy.samples());
+        // The resume only sampled the missing 600 samples.
+        let report = registry.snapshot();
+        assert_eq!(report.counter("power.samples"), 600);
+        assert_eq!(report.counter("durable.samples_salvaged"), 400);
+        assert_eq!(report.counter("durable.checkpoints_sealed"), 6);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_rejected_not_integrated() {
+        let load = ConstantLoad::new(150.0, 4.0);
+        let mut stream = CheckpointStream::new(100);
+        let _ = powered_monsoon(32)
+            .sample_run_checkpointed(&load, SimTime::ZERO, 1.0, 1000.0, &mut stream)
+            .unwrap();
+        stream.segments.truncate(4);
+        // Bit-flip one salvaged sample: CRC catches it.
+        stream.segments[2].samples[7] += 0.0001;
+        let err = powered_monsoon(32)
+            .sample_run_checkpointed(&load, SimTime::ZERO, 1.0, 1000.0, &mut stream)
+            .unwrap_err();
+        match err {
+            MonsoonError::Checkpoint(report) => {
+                assert_eq!(report.kind, batterylab_durable::GapKind::Corrupt);
+                assert_eq!(report.segment, 2);
+            }
+            other => panic!("expected checkpoint rejection, got {other:?}"),
+        }
+        // A dropped middle segment is a gap, also rejected.
+        let mut gappy = CheckpointStream::new(100);
+        let _ = powered_monsoon(32)
+            .sample_run_checkpointed(&load, SimTime::ZERO, 1.0, 1000.0, &mut gappy)
+            .unwrap();
+        gappy.segments.remove(1);
+        let err = powered_monsoon(32)
+            .sample_run_checkpointed(&load, SimTime::ZERO, 1.0, 1000.0, &mut gappy)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MonsoonError::Checkpoint(GapReport {
+                kind: batterylab_durable::GapKind::Gap,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn checkpointed_plan_mismatch_is_rejected() {
+        let load = ConstantLoad::new(150.0, 4.0);
+        let mut stream = CheckpointStream::new(50);
+        let _ = powered_monsoon(33)
+            .sample_run_checkpointed(&load, SimTime::ZERO, 0.5, 1000.0, &mut stream)
+            .unwrap();
+        stream.segments.truncate(2);
+        // Resuming a 0.5 s capture as a 0.3 s one must not splice.
+        let err = powered_monsoon(33)
+            .sample_run_checkpointed(&load, SimTime::ZERO, 0.3, 1000.0, &mut stream)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MonsoonError::Checkpoint(GapReport {
+                kind: batterylab_durable::GapKind::PlanMismatch,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -5,15 +5,17 @@
 use std::collections::BTreeMap;
 
 use batterylab_controller::VantagePoint;
+use batterylab_durable::Wal;
 use batterylab_sim::SimTime;
 
 use crate::auth::{AuthError, AuthService, Permission, Role, Session};
 use crate::credits::{CreditError, CreditLedger};
-use crate::jobs::{BuildRecord, Constraints, JobId, Payload};
+use crate::jobs::{BuildRecord, BuildState, Constraints, JobId, Payload};
 use crate::maintenance;
-use crate::registry::{NodeRegistry, RegistryError};
+use crate::registry::{NodeRegistry, RegistryError, REQUIRED_PORTS};
 use crate::scheduler::Scheduler;
 use crate::ssh::SshClient;
+use crate::wal::{ChargeRecord, WalRecord};
 use batterylab_sim::SimDuration;
 
 /// Access-server faults.
@@ -27,6 +29,8 @@ pub enum ServerError {
     NoSuchBuild(JobId),
     /// Credit-system refusal (billing-enabled deployments).
     Credits(CreditError),
+    /// Crash recovery could not rebuild state from the write-ahead log.
+    Recovery(String),
 }
 
 impl From<AuthError> for ServerError {
@@ -54,6 +58,7 @@ impl std::fmt::Display for ServerError {
             ServerError::Registry(e) => write!(f, "registry: {e}"),
             ServerError::NoSuchBuild(id) => write!(f, "no such build {id:?}"),
             ServerError::Credits(e) => write!(f, "credits: {e}"),
+            ServerError::Recovery(msg) => write!(f, "recovery: {msg}"),
         }
     }
 }
@@ -74,6 +79,8 @@ pub struct AccessServer {
     node_owners: BTreeMap<String, String>,
     /// Last instant hosting accrual ran.
     last_accrual: SimTime,
+    /// Write-ahead log; disabled unless [`AccessServer::attach_wal`] ran.
+    wal: Wal,
 }
 
 impl AccessServer {
@@ -89,7 +96,73 @@ impl AccessServer {
             billing: None,
             node_owners: BTreeMap::new(),
             last_accrual: SimTime::ZERO,
+            wal: Wal::disabled(),
         }
+    }
+
+    /// Make the server crash-consistent: every state transition from here
+    /// on appends one fsynced record to `wal` before taking effect, and
+    /// the current state (accounts, billing flag, enrolled nodes, node
+    /// owners) is snapshotted into the log first so `wal` alone is enough
+    /// to rebuild the server via [`AccessServer::recover`].
+    pub fn attach_wal(&mut self, wal: &Wal) {
+        self.wal = wal.clone();
+        self.scheduler.set_wal(wal);
+        self.wal.append(
+            &WalRecord::Booted {
+                public_ip: self.public_ip.clone(),
+            }
+            .encode(),
+        );
+        let accounts: Vec<(String, u64, Role)> = self
+            .auth
+            .accounts()
+            .map(|(name, hash, role)| (name.to_string(), hash, role))
+            .collect();
+        for (name, password_hash, role) in accounts {
+            self.wal.append(
+                &WalRecord::UserAdded {
+                    name,
+                    password_hash,
+                    role,
+                }
+                .encode(),
+            );
+        }
+        if self.billing.is_some() {
+            self.wal.append(&WalRecord::BillingEnabled.encode());
+        }
+        for name in self.registry.names() {
+            let rec = self
+                .registry
+                .node(&name)
+                .expect("listed node exists")
+                .clone();
+            self.wal.append(
+                &WalRecord::NodeEnrolled {
+                    name: rec.name,
+                    ip: rec.ip,
+                    host_key: rec.host_key,
+                    open_ports: REQUIRED_PORTS.iter().map(|(p, _)| *p).collect(),
+                    at: rec.enrolled_at,
+                }
+                .encode(),
+            );
+        }
+        let owners: Vec<(String, String)> = self
+            .node_owners
+            .iter()
+            .map(|(n, o)| (n.clone(), o.clone()))
+            .collect();
+        for (node, owner) in owners {
+            self.wal
+                .append(&WalRecord::NodeOwner { node, owner }.encode());
+        }
+    }
+
+    /// The write-ahead log handle (disabled unless durability is on).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
     }
 
     /// Rebind the scheduler and every enrolled node to a shared registry,
@@ -106,6 +179,7 @@ impl AccessServer {
     pub fn enable_billing(&mut self) {
         if self.billing.is_none() {
             self.billing = Some(CreditLedger::new());
+            self.wal.append(&WalRecord::BillingEnabled.encode());
         }
     }
 
@@ -122,6 +196,13 @@ impl AccessServer {
     /// Record that `owner` hosts `node` (earns hosting credits).
     pub fn set_node_owner(&mut self, node: &str, owner: &str) {
         self.node_owners.insert(node.to_string(), owner.to_string());
+        self.wal.append(
+            &WalRecord::NodeOwner {
+                node: node.to_string(),
+                owner: owner.to_string(),
+            }
+            .encode(),
+        );
     }
 
     /// User directory access.
@@ -153,7 +234,20 @@ impl AccessServer {
         role: Role,
     ) -> Result<(), ServerError> {
         self.auth.authorize(token, Permission::ManageNodes)?;
-        Ok(self.auth.add_user(name, password, role)?)
+        self.auth.add_user(name, password, role)?;
+        // Log the stored hash (never cleartext) so recovery rebuilds the
+        // full directory.
+        if let Some((_, password_hash, role)) = self.auth.accounts().find(|(n, _, _)| *n == name) {
+            self.wal.append(
+                &WalRecord::UserAdded {
+                    name: name.to_string(),
+                    password_hash,
+                    role,
+                }
+                .encode(),
+            );
+        }
+        Ok(())
     }
 
     /// Enrol a vantage point (§3.4): registry entry, DNS, cert deploy,
@@ -174,6 +268,16 @@ impl AccessServer {
             .enroll(&name, ip, host_key, open_ports, &public_ip, now)?;
         self.ssh.pin_host(&name, host_key);
         self.nodes.insert(name.clone(), vp);
+        self.wal.append(
+            &WalRecord::NodeEnrolled {
+                name: name.clone(),
+                ip: ip.to_string(),
+                host_key: host_key.to_string(),
+                open_ports: open_ports.to_vec(),
+                at: now,
+            }
+            .encode(),
+        );
         Ok(format!("{name}.batterylab.dev"))
     }
 
@@ -215,20 +319,44 @@ impl AccessServer {
     /// charged for the device time the build actually consumed.
     pub fn tick(&mut self) -> Option<JobId> {
         let id = self.scheduler.tick(&mut self.nodes)?;
-        if let Some(ledger) = &mut self.billing {
-            if let Some(build) = self.scheduler.build(id) {
-                let secs = build
-                    .summary
-                    .as_ref()
-                    .and_then(|s| s["duration_s"].as_f64())
-                    .unwrap_or(0.0);
-                if secs > 0.0 {
-                    let _ = ledger.charge_experiment(
-                        &build.owner,
-                        &build.name,
-                        SimDuration::from_secs_f64(secs),
-                    );
+        // A `Queued` build after a tick means the run failed transiently
+        // and was requeued — the scheduler logged `Retried`. Anything
+        // else is terminal: commit the build and its charge as ONE WAL
+        // record, so no log prefix can separate the bill from the job.
+        let terminal = self
+            .scheduler
+            .build(id)
+            .map(|b| !matches!(b.state, BuildState::Queued))
+            .unwrap_or(false);
+        if terminal {
+            let build = self
+                .scheduler
+                .build(id)
+                .expect("terminal build exists")
+                .clone();
+            let secs = build
+                .summary
+                .as_ref()
+                .and_then(|s| s["duration_s"].as_f64())
+                .unwrap_or(0.0);
+            let charge = if self.billing.is_some() && secs > 0.0 {
+                Some(ChargeRecord {
+                    user: build.owner.clone(),
+                    job: build.name.clone(),
+                    device_time: SimDuration::from_secs_f64(secs),
+                })
+            } else {
+                None
+            };
+            self.wal.append(
+                &WalRecord::Completed {
+                    record: build,
+                    charge: charge.clone(),
                 }
+                .encode(),
+            );
+            if let (Some(ledger), Some(c)) = (&mut self.billing, charge) {
+                let _ = ledger.charge_experiment(&c.user, &c.job, c.device_time);
             }
         }
         Some(id)
@@ -270,7 +398,18 @@ impl AccessServer {
                     user: format!("{user} ({e})"),
                     permission: Permission::RunJob,
                 })
-            })
+            })?;
+        self.wal.append(
+            &WalRecord::SlotReserved {
+                node: node.to_string(),
+                device: device.to_string(),
+                user,
+                from,
+                to,
+            }
+            .encode(),
+        );
+        Ok(())
     }
 
     /// The reservation schedule for a device.
@@ -300,6 +439,8 @@ impl AccessServer {
             }
         }
         self.last_accrual = now;
+        self.wal
+            .append(&WalRecord::MaintenanceRan { at: now }.encode());
         report
     }
 
@@ -322,6 +463,15 @@ impl AccessServer {
             let _ = self.registry.record_heartbeat(&name, now, healthy);
             outcomes.push((name, healthy));
         }
+        // One batched record: the *decided* outcomes, so replay never
+        // consults the fault injector again.
+        self.wal.append(
+            &WalRecord::Heartbeats {
+                at: now,
+                outcomes: outcomes.clone(),
+            }
+            .encode(),
+        );
         outcomes
     }
 
@@ -334,6 +484,196 @@ impl AccessServer {
     /// experimenter-facing surface).
     pub fn node_mut(&mut self, name: &str) -> Option<&mut VantagePoint> {
         self.nodes.get_mut(name)
+    }
+
+    /// Expose the scheduler's backoff-wait for recovery harnesses that
+    /// drain a recovered server without going through [`Self::drain`].
+    pub fn wait_for_backoff(&mut self) -> bool {
+        self.scheduler.wait_for_backoff(&mut self.nodes)
+    }
+
+    /// Dismantle the server, handing back the enrolled vantage points.
+    /// Models a server crash: the cloud VM's memory is gone, but the
+    /// controllers at member institutions keep running.
+    pub fn take_nodes(self) -> BTreeMap<String, VantagePoint> {
+        self.nodes
+    }
+
+    /// Re-attach a surviving vantage point after recovery. The node must
+    /// appear in the replayed registry — recovery cannot adopt a node
+    /// the log never saw enrolled.
+    pub fn adopt_node(&mut self, vp: VantagePoint) -> Result<(), ServerError> {
+        let name = vp.name().to_string();
+        self.registry.node(&name)?;
+        self.nodes.insert(name, vp);
+        Ok(())
+    }
+
+    /// Rebuild a server from a write-ahead log after a crash.
+    ///
+    /// Replays every whole record in `wal` (truncating any torn tail
+    /// first). Replay is **telemetry-silent** on the platform side: the
+    /// original operations already counted into the surviving registry,
+    /// so the recovered scheduler/supervisor run against throwaway
+    /// registries until the caller rebinds
+    /// [`AccessServer::set_telemetry`]. Recovery-side `durable.*` metrics
+    /// go to the separate `recovery_telemetry` registry instead.
+    ///
+    /// Sessions are deliberately not recovered — tokens are ephemeral by
+    /// design and users re-authenticate after an outage.
+    pub fn recover(
+        wal: &Wal,
+        recovery_telemetry: &batterylab_telemetry::Registry,
+    ) -> Result<AccessServer, ServerError> {
+        let (payloads, torn) = wal.replay();
+        recovery_telemetry.counter("durable.recoveries").inc();
+        recovery_telemetry
+            .counter("durable.replayed_records")
+            .add(payloads.len() as u64);
+        recovery_telemetry
+            .counter("durable.torn_bytes")
+            .add(torn as u64);
+        let mut records = payloads.iter().map(|p| WalRecord::decode(p));
+        let public_ip = match records.next() {
+            Some(Ok(WalRecord::Booted { public_ip })) => public_ip,
+            Some(Ok(other)) => {
+                return Err(ServerError::Recovery(format!(
+                    "log does not start with Booted (found {other:?})"
+                )))
+            }
+            Some(Err(e)) => return Err(ServerError::Recovery(e)),
+            None => return Err(ServerError::Recovery("empty write-ahead log".to_string())),
+        };
+        let mut server = AccessServer {
+            auth: AuthService::empty(),
+            registry: NodeRegistry::new(SimTime::ZERO),
+            scheduler: Scheduler::new(),
+            nodes: BTreeMap::new(),
+            ssh: SshClient::new("fp:access-server"),
+            public_ip,
+            billing: None,
+            node_owners: BTreeMap::new(),
+            last_accrual: SimTime::ZERO,
+            // Disabled during replay so re-applied operations don't
+            // re-log themselves; the real handle is wired in afterwards.
+            wal: Wal::disabled(),
+        };
+        for record in records {
+            server.apply_replayed(record.map_err(ServerError::Recovery)?)?;
+        }
+        // Adopt the surviving log: appends continue the same sequence.
+        server.wal = wal.clone();
+        server.scheduler.set_wal(wal);
+        Ok(server)
+    }
+
+    /// Apply one replayed WAL record (everything after `Booted`).
+    fn apply_replayed(&mut self, record: WalRecord) -> Result<(), ServerError> {
+        match record {
+            WalRecord::Booted { .. } => {
+                return Err(ServerError::Recovery(
+                    "duplicate Booted record mid-log".to_string(),
+                ))
+            }
+            WalRecord::UserAdded {
+                name,
+                password_hash,
+                role,
+            } => {
+                self.auth.add_user_hashed(&name, password_hash, role)?;
+            }
+            WalRecord::BillingEnabled => {
+                if self.billing.is_none() {
+                    self.billing = Some(CreditLedger::new());
+                }
+            }
+            WalRecord::NodeEnrolled {
+                name,
+                ip,
+                host_key,
+                open_ports,
+                at,
+            } => {
+                let public_ip = self.public_ip.clone();
+                self.registry
+                    .enroll(&name, &ip, &host_key, &open_ports, &public_ip, at)?;
+                self.ssh.pin_host(&name, &host_key);
+                // The vantage point itself survived the crash; it is
+                // re-attached later via `adopt_node`.
+            }
+            WalRecord::NodeOwner { node, owner } => {
+                self.node_owners.insert(node, owner);
+            }
+            WalRecord::Submitted {
+                id,
+                name,
+                owner,
+                constraints,
+                spec,
+            } => {
+                // Mirror submit_job's welcome-grant ordering.
+                if let Some(ledger) = &mut self.billing {
+                    ledger.open_account(&owner);
+                }
+                self.scheduler
+                    .restore_submitted(JobId(id), &name, &owner, constraints, spec);
+            }
+            WalRecord::Retried {
+                id,
+                node,
+                attempts,
+                not_before,
+                failed_at,
+                error: _,
+            } => {
+                self.scheduler
+                    .restore_retried(JobId(id), &node, attempts, not_before, failed_at);
+            }
+            WalRecord::Completed { record, charge } => {
+                if let (Some(ledger), Some(c)) = (&mut self.billing, &charge) {
+                    let _ = ledger.charge_experiment(&c.user, &c.job, c.device_time);
+                }
+                self.scheduler.restore_completed(record);
+            }
+            WalRecord::Heartbeats { at, outcomes } => {
+                for (node, healthy) in outcomes {
+                    self.scheduler
+                        .supervisor_mut()
+                        .apply_probe(&node, healthy, at);
+                    let _ = self.registry.record_heartbeat(&node, at, healthy);
+                }
+            }
+            WalRecord::MaintenanceRan { at } => {
+                // Re-derive the deterministic sweeps. The node-side power
+                // sweep is naturally a no-op: `nodes` is empty during
+                // replay (vantage points are re-adopted afterwards).
+                let _ = maintenance::certificate_sweep(&mut self.registry, at);
+                let _ = maintenance::power_safety_sweep(&mut self.nodes);
+                self.scheduler.prune_workspaces(at);
+                if let Some(ledger) = &mut self.billing {
+                    let online = at.duration_since(self.last_accrual);
+                    if !online.is_zero() {
+                        for (node, owner) in &self.node_owners {
+                            ledger.earn_hosting(owner, node, online);
+                        }
+                    }
+                }
+                self.last_accrual = at;
+            }
+            WalRecord::SlotReserved {
+                node,
+                device,
+                user,
+                from,
+                to,
+            } => {
+                self.scheduler
+                    .slots_mut()
+                    .reserve(&node, &device, &user, from, to)
+                    .map_err(|e| ServerError::Recovery(format!("slot replay failed: {e}")))?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -476,6 +816,131 @@ mod tests {
         let build = server.build(admin, id).unwrap();
         assert!(matches!(build.state, BuildState::Failed(_)), "{build:?}");
         assert_eq!(server.queue_len(), 0);
+    }
+
+    #[test]
+    fn recovery_replays_jobs_and_charges() {
+        use batterylab_telemetry::Registry;
+
+        let (mut server, admin) = server_with_node();
+        let wal = Wal::new();
+        server.attach_wal(&wal);
+        server.enable_billing();
+        server.set_node_owner("node1", "admin");
+        server
+            .add_user(admin, "alice", "pw-a", Role::Experimenter)
+            .unwrap();
+        let alice = server.login("alice", "pw-a", true).unwrap().token;
+        let id = server
+            .submit_job(
+                alice,
+                "browser-energy",
+                Constraints::default(),
+                Payload::Experiment(ExperimentSpec::measured(
+                    "acc-dev",
+                    Script::browser_workload("com.brave.browser", &["https://a.example"], 2),
+                )),
+            )
+            .unwrap();
+        assert_eq!(server.tick(), Some(id));
+        let baseline_build = format!("{:?}", server.build(alice, id).unwrap());
+        let baseline_balance = server.ledger().unwrap().balance("alice").unwrap();
+        let baseline_history = server.ledger().unwrap().history().to_vec();
+
+        // Crash: server memory dies; nodes and the WAL disk survive.
+        let nodes = server.take_nodes();
+        let recovery = Registry::new();
+        let mut recovered = AccessServer::recover(&wal, &recovery).unwrap();
+        for (_, vp) in nodes {
+            recovered.adopt_node(vp).unwrap();
+        }
+
+        // Sessions are ephemeral: users re-authenticate. Same password
+        // works because the WAL carries the directory's hashes.
+        let alice2 = recovered.login("alice", "pw-a", true).unwrap().token;
+        assert_eq!(
+            format!("{:?}", recovered.build(alice2, id).unwrap()),
+            baseline_build
+        );
+        assert_eq!(
+            recovered.ledger().unwrap().balance("alice").unwrap(),
+            baseline_balance
+        );
+        assert_eq!(recovered.ledger().unwrap().history(), &baseline_history[..]);
+        assert_eq!(recovered.queue_len(), 0);
+        let snap = recovery.snapshot();
+        assert_eq!(snap.counter("durable.recoveries"), 1);
+        assert!(snap.counter("durable.replayed_records") >= 6);
+    }
+
+    #[test]
+    fn recovery_requeues_pending_jobs_without_duplication() {
+        let (mut server, admin) = server_with_node();
+        let wal = Wal::new();
+        server.attach_wal(&wal);
+        let id = server
+            .submit_job(
+                admin,
+                "pending",
+                Constraints::default(),
+                Payload::Experiment(ExperimentSpec::measured(
+                    "acc-dev",
+                    Script::browser_workload("com.brave.browser", &["https://a.example"], 1),
+                )),
+            )
+            .unwrap();
+        // Crash before any tick: the job must survive in the queue.
+        let nodes = server.take_nodes();
+        let mut recovered =
+            AccessServer::recover(&wal, &batterylab_telemetry::Registry::new()).unwrap();
+        for (_, vp) in nodes {
+            recovered.adopt_node(vp).unwrap();
+        }
+        assert_eq!(recovered.queue_len(), 1);
+        assert_eq!(recovered.tick(), Some(id));
+        assert_eq!(recovered.queue_len(), 0);
+        let admin2 = recovered.login("admin", "pw", true).unwrap().token;
+        assert!(matches!(
+            recovered.build(admin2, id).unwrap().state,
+            BuildState::Succeeded
+        ));
+        // A second job after recovery continues the id sequence.
+        let next = recovered
+            .submit_job(
+                admin2,
+                "after",
+                Constraints::default(),
+                Payload::Experiment(ExperimentSpec::measured(
+                    "acc-dev",
+                    Script::browser_workload("com.brave.browser", &["https://a.example"], 1),
+                )),
+            )
+            .unwrap();
+        assert_eq!(next.0, id.0 + 1);
+    }
+
+    #[test]
+    fn recovery_fails_custom_payloads_instead_of_losing_them() {
+        let (mut server, admin) = server_with_node();
+        let wal = Wal::new();
+        server.attach_wal(&wal);
+        let id = server
+            .submit_job(
+                admin,
+                "opaque",
+                Constraints::default(),
+                Payload::Custom(Box::new(|_| Err("opaque closure".into()))),
+            )
+            .unwrap();
+        let _ = server.take_nodes();
+        let mut recovered =
+            AccessServer::recover(&wal, &batterylab_telemetry::Registry::new()).unwrap();
+        assert_eq!(recovered.queue_len(), 0, "closure cannot be replayed");
+        let admin2 = recovered.login("admin", "pw", true).unwrap().token;
+        assert!(matches!(
+            recovered.build(admin2, id).unwrap().state,
+            BuildState::Failed(_)
+        ));
     }
 
     #[test]

@@ -136,6 +136,46 @@ impl AuthService {
         }
     }
 
+    /// An empty directory with no accounts at all. Only recovery uses
+    /// this: every account — the bootstrap admin included — is replayed
+    /// from `UserAdded` records in the write-ahead log.
+    pub fn empty() -> Self {
+        AuthService {
+            accounts: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            next_token: 1,
+        }
+    }
+
+    /// Register a user from an already-hashed password (WAL replay: the
+    /// log stores password hashes, never cleartext).
+    pub fn add_user_hashed(
+        &mut self,
+        name: &str,
+        password_hash: u64,
+        role: Role,
+    ) -> Result<(), AuthError> {
+        if self.accounts.contains_key(name) {
+            return Err(AuthError::DuplicateUser(name.to_string()));
+        }
+        self.accounts.insert(
+            name.to_string(),
+            Account {
+                role,
+                password_hash,
+            },
+        );
+        Ok(())
+    }
+
+    /// Iterate `(name, password_hash, role)` over every account, in name
+    /// order — the WAL snapshots this when durability is attached.
+    pub fn accounts(&self) -> impl Iterator<Item = (&str, u64, Role)> {
+        self.accounts
+            .iter()
+            .map(|(name, a)| (name.as_str(), a.password_hash, a.role))
+    }
+
     /// Register a user (admin action, checked by the caller).
     pub fn add_user(&mut self, name: &str, password: &str, role: Role) -> Result<(), AuthError> {
         if self.accounts.contains_key(name) {

@@ -26,6 +26,7 @@ pub mod slots;
 pub mod ssh;
 pub mod supervise;
 mod vantage_exec;
+pub mod wal;
 
 pub use access::{AccessServer, ServerError};
 pub use auth::{allows, AuthError, AuthService, Permission, Role, Session};
@@ -44,3 +45,4 @@ pub use slots::{Slot, SlotCalendar, SlotError};
 pub use ssh::{CommandHandler, SshClient, SshError, SshServer, SshSession};
 pub use supervise::{BreakerState, CircuitBreaker, RetryPolicy, Supervisor};
 pub use vantage_exec::{run_experiment, JobOutcome};
+pub use wal::{ChargeRecord, WalRecord};

@@ -7,13 +7,17 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use batterylab_controller::VantagePoint;
+use batterylab_durable::Wal;
 use batterylab_sim::{SimDuration, SimTime};
 use batterylab_telemetry::{Counter, Registry};
 
-use crate::jobs::{Artifact, BuildRecord, BuildState, Constraints, JobId, Payload, QueuedJob};
+use crate::jobs::{
+    Artifact, BuildRecord, BuildState, Constraints, ExperimentSpec, JobId, Payload, QueuedJob,
+};
 use crate::slots::SlotCalendar;
 use crate::supervise::Supervisor;
 use crate::vantage_exec::{run_experiment, JobOutcome};
+use crate::wal::WalRecord;
 
 /// Workspace retention: "available for several days".
 pub const DEFAULT_RETENTION: SimDuration = SimDuration::from_secs(7 * 24 * 3600);
@@ -55,6 +59,9 @@ pub struct Scheduler {
     telemetry: SchedulerTelemetry,
     /// Supervision: per-node circuit breakers + retry backoff.
     supervisor: Supervisor,
+    /// Durability: submissions and requeues append here (disabled by
+    /// default; the access server attaches a live log).
+    wal: Wal,
 }
 
 impl Scheduler {
@@ -69,12 +76,19 @@ impl Scheduler {
             slots: SlotCalendar::new(),
             telemetry: SchedulerTelemetry::bind(&Registry::new()),
             supervisor: Supervisor::new(0),
+            wal: Wal::disabled(),
         }
     }
 
     /// The supervision layer (breakers, retry policy, heartbeats).
     pub fn supervisor_mut(&mut self) -> &mut Supervisor {
         &mut self.supervisor
+    }
+
+    /// Append queue transitions (submissions, supervised requeues) to
+    /// `wal`. The access server wires this when durability is attached.
+    pub(crate) fn set_wal(&mut self, wal: &Wal) {
+        self.wal = wal.clone();
     }
 
     /// Rebind telemetry to a shared registry (`scheduler.*` metrics).
@@ -126,6 +140,20 @@ impl Scheduler {
                 artifacts: Vec::new(),
                 finished_at: None,
             },
+        );
+        let spec = match &payload {
+            Payload::Experiment(spec) => Some(spec.clone()),
+            Payload::Custom(_) => None, // boxed closures don't serialise
+        };
+        self.wal.append(
+            &WalRecord::Submitted {
+                id: id.0,
+                name: name.to_string(),
+                owner: owner.to_string(),
+                constraints: constraints.clone(),
+                spec,
+            }
+            .encode(),
         );
         self.queue.push_back(QueuedJob {
             id,
@@ -263,6 +291,17 @@ impl Scheduler {
                     .retry_backoff(&node, job.attempts)
                     .map(|backoff| now_on_node + backoff);
                 self.telemetry.retries.inc();
+                self.wal.append(
+                    &WalRecord::Retried {
+                        id: id.0,
+                        node: node.clone(),
+                        attempts: job.attempts,
+                        not_before: job.not_before,
+                        failed_at: now_on_node,
+                        error: err.clone(),
+                    }
+                    .encode(),
+                );
                 self.telemetry.registry.event(
                     "scheduler.retry",
                     format!("job {} attempt {}: {err}", id.0, job.attempts + 1),
@@ -330,6 +369,100 @@ impl Scheduler {
             }
         }
         advanced
+    }
+
+    // -----------------------------------------------------------------
+    // WAL replay (recovery). None of these touch telemetry counters: the
+    // original operations already counted into the surviving platform
+    // registry, so replay runs against the scheduler's throwaway
+    // registry until the caller rebinds `set_telemetry`.
+    // -----------------------------------------------------------------
+
+    /// Replay a `Submitted` record: reinsert the queued job exactly as
+    /// submission left it. A `None` spec was a boxed custom payload —
+    /// the closure died with the server, so the build is marked failed
+    /// rather than silently dropped.
+    pub(crate) fn restore_submitted(
+        &mut self,
+        id: JobId,
+        name: &str,
+        owner: &str,
+        constraints: Constraints,
+        spec: Option<ExperimentSpec>,
+    ) {
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.builds.insert(
+            id,
+            BuildRecord {
+                id,
+                name: name.to_string(),
+                owner: owner.to_string(),
+                node: None,
+                state: BuildState::Queued,
+                summary: None,
+                artifacts: Vec::new(),
+                finished_at: None,
+            },
+        );
+        match spec {
+            Some(spec) => self.queue.push_back(QueuedJob {
+                id,
+                name: name.to_string(),
+                owner: owner.to_string(),
+                constraints,
+                payload: Payload::Experiment(spec),
+                attempts: 0,
+                not_before: None,
+            }),
+            None => {
+                let record = self.builds.get_mut(&id).expect("just inserted");
+                record.state =
+                    BuildState::Failed("custom payload lost in server crash".to_string());
+            }
+        }
+    }
+
+    /// Replay a `Retried` record: move the job to the back of the queue
+    /// (mirroring the dispatch-remove + requeue-push of the live path)
+    /// with its logged attempt count and backoff deadline, and feed the
+    /// failure into the breaker exactly as the live run did.
+    pub(crate) fn restore_retried(
+        &mut self,
+        id: JobId,
+        node: &str,
+        attempts: u32,
+        not_before: Option<SimTime>,
+        failed_at: SimTime,
+    ) {
+        if let Some(i) = self.queue.iter().position(|j| j.id == id) {
+            let mut job = self.queue.remove(i).expect("index valid");
+            job.attempts = attempts;
+            job.not_before = not_before;
+            self.queue.push_back(job);
+        }
+        if let Some(record) = self.builds.get_mut(&id) {
+            record.node = Some(node.to_string());
+        }
+        self.supervisor.record_failure(node, failed_at);
+    }
+
+    /// Replay a `Completed` record: remove the job from the queue, adopt
+    /// the terminal build record verbatim, and feed the outcome into the
+    /// breaker as the live run did.
+    pub(crate) fn restore_completed(&mut self, record: BuildRecord) {
+        if let Some(i) = self.queue.iter().position(|j| j.id == record.id) {
+            self.queue.remove(i);
+        }
+        self.next_id = self.next_id.max(record.id.0 + 1);
+        let node = record.node.clone().unwrap_or_default();
+        match &record.state {
+            BuildState::Succeeded => self.supervisor.record_success(&node),
+            BuildState::Failed(_) => self
+                .supervisor
+                .record_failure(&node, record.finished_at.unwrap_or(SimTime::ZERO)),
+            BuildState::Queued => {}
+        }
+        self.builds.insert(record.id, record);
     }
 
     /// Prune expired workspaces (artifacts dropped, record kept).

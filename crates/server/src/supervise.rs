@@ -271,18 +271,26 @@ impl Supervisor {
         let rebooting =
             self.faults
                 .window_active(&scoped_site(node, site::NODE), FaultKind::NodeReboot, now);
+        self.apply_probe(node, !rebooting, now);
+        !rebooting
+    }
+
+    /// Apply an already-decided heartbeat outcome: identical breaker and
+    /// telemetry bookkeeping to [`Self::heartbeat_probe`], minus the
+    /// fault-injector consult. WAL replay uses this — the outcome was
+    /// decided before the crash and must be reapplied verbatim, without
+    /// consuming fault-plan state a second time.
+    pub fn apply_probe(&mut self, node: &str, healthy: bool, now: SimTime) {
         let scoped = self.registry.scoped(node);
         scoped.counter("supervisor.heartbeats").inc();
-        if rebooting {
+        if healthy {
+            self.record_success(node);
+        } else {
             scoped.counter("supervisor.unhealthy_probes").inc();
             self.registry.clock().advance_to(now.as_micros());
             self.registry
                 .event("supervisor.node_unhealthy", format!("{node} at {now}"));
             self.record_failure(node, now);
-            false
-        } else {
-            self.record_success(node);
-            true
         }
     }
 }

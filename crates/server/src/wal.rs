@@ -1,0 +1,233 @@
+//! Write-ahead-log records for the access server.
+//!
+//! The access server owns the platform's only authoritative state — job
+//! table, credit ledger, node registry, account directory — so each
+//! state transition appends exactly one [`WalRecord`] (fsynced by the
+//! log layer) before the next operation is accepted. Replaying any
+//! prefix of the log through [`crate::AccessServer::recover`] rebuilds
+//! the exact server state at that record boundary.
+//!
+//! Two design rules keep replay idempotent:
+//!
+//! - **A terminal build and its charge are one record.** `Completed`
+//!   bundles the final [`BuildRecord`] with the billing charge, so no
+//!   log prefix can show a charge without its finished job (double
+//!   charge) or a finished job without its charge (lost revenue).
+//! - **Decisions are logged, not re-derived.** `Retried` carries the
+//!   backoff deadline verbatim and `Heartbeats` carries probe outcomes,
+//!   so replay never consults the fault injector or draws jitter again.
+//!
+//! Records are JSON payloads inside the CRC-framed log; the encoding is
+//! deterministic for a given record, which the crash-point sweep relies
+//! on when comparing a recovered run against an uninterrupted one.
+
+use batterylab_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::auth::Role;
+use crate::jobs::{BuildRecord, Constraints, ExperimentSpec};
+
+/// A billing charge bundled with the terminal build record it pays for.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChargeRecord {
+    /// Account charged.
+    pub user: String,
+    /// Job name (ledger audit reason).
+    pub job: String,
+    /// Device time billed.
+    pub device_time: SimDuration,
+}
+
+/// One durable state transition of the access server.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// Log created: the server's identity. Always record 0.
+    Booted {
+        /// The server's public IP (allow-listed at nodes).
+        public_ip: String,
+    },
+    /// An account exists (bootstrap admin included). Stores the password
+    /// hash, never cleartext.
+    UserAdded {
+        /// Account name.
+        name: String,
+        /// FNV-1a password hash as stored by the directory.
+        password_hash: u64,
+        /// Role granted.
+        role: Role,
+    },
+    /// The §5 credit system was switched on.
+    BillingEnabled,
+    /// A vantage point was enrolled.
+    NodeEnrolled {
+        /// Node name (`node1`).
+        name: String,
+        /// Controller public IP.
+        ip: String,
+        /// SSH host-key fingerprint pinned at enrolment.
+        host_key: String,
+        /// Ports verified open.
+        open_ports: Vec<u16>,
+        /// Enrolment instant.
+        at: SimTime,
+    },
+    /// A node's hosting owner was recorded.
+    NodeOwner {
+        /// Node name.
+        node: String,
+        /// Owning member (earns hosting credits).
+        owner: String,
+    },
+    /// A job entered the queue.
+    Submitted {
+        /// Assigned job id.
+        id: u64,
+        /// Job name.
+        name: String,
+        /// Submitting user.
+        owner: String,
+        /// Placement constraints.
+        constraints: Constraints,
+        /// Declarative payload; `None` for boxed `Custom` payloads,
+        /// which cannot be serialised and are lost in a crash.
+        spec: Option<ExperimentSpec>,
+    },
+    /// A dispatched run failed transiently and was requeued with a
+    /// supervised backoff deadline (logged verbatim, never recomputed).
+    Retried {
+        /// Job id.
+        id: u64,
+        /// Node the failed attempt ran on.
+        node: String,
+        /// Failed attempts so far.
+        attempts: u32,
+        /// Queue-gate deadline decided by the supervisor.
+        not_before: Option<SimTime>,
+        /// Node-clock instant of the failure.
+        failed_at: SimTime,
+        /// The error, for the audit trail.
+        error: String,
+    },
+    /// A build reached a terminal state. The billing charge (if any)
+    /// rides in the same record — one atomic commit point.
+    Completed {
+        /// The finished build record, verbatim.
+        record: BuildRecord,
+        /// The charge applied for it, if billing was on.
+        charge: Option<ChargeRecord>,
+    },
+    /// One batched round of heartbeat probes with decided outcomes.
+    Heartbeats {
+        /// Probe instant.
+        at: SimTime,
+        /// `(node, healthy)` in probe order.
+        outcomes: Vec<(String, bool)>,
+    },
+    /// The maintenance sweeps ran (cert renewal/deploy, workspace
+    /// pruning, hosting accrual — all re-derived deterministically on
+    /// replay; the node-side power sweep is not, nodes survive crashes).
+    MaintenanceRan {
+        /// Sweep instant.
+        at: SimTime,
+    },
+    /// A device time slot was reserved.
+    SlotReserved {
+        /// Node name.
+        node: String,
+        /// Device serial.
+        device: String,
+        /// Reserving user.
+        user: String,
+        /// Slot start.
+        from: SimTime,
+        /// Slot end.
+        to: SimTime,
+    },
+}
+
+impl WalRecord {
+    /// Serialise for the framed log.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("WAL record serialises")
+            .into_bytes()
+    }
+
+    /// Parse a framed-log payload.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, String> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| format!("non-UTF-8 WAL record ({} bytes): {e}", payload.len()))?;
+        serde_json::from_str(text)
+            .map_err(|e| format!("undecodable WAL record ({} bytes): {e}", payload.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::{BuildState, JobId};
+
+    #[test]
+    fn records_round_trip() {
+        let records = vec![
+            WalRecord::Booted {
+                public_ip: "52.1.2.3".into(),
+            },
+            WalRecord::UserAdded {
+                name: "alice".into(),
+                password_hash: 0xABCD,
+                role: Role::Experimenter,
+            },
+            WalRecord::BillingEnabled,
+            WalRecord::Submitted {
+                id: 7,
+                name: "job".into(),
+                owner: "alice".into(),
+                constraints: Constraints::default(),
+                spec: None,
+            },
+            WalRecord::Retried {
+                id: 7,
+                node: "node1".into(),
+                attempts: 2,
+                not_before: Some(SimTime::from_secs(12)),
+                failed_at: SimTime::from_secs(10),
+                error: "socket hiccup".into(),
+            },
+            WalRecord::Completed {
+                record: BuildRecord {
+                    id: JobId(7),
+                    name: "job".into(),
+                    owner: "alice".into(),
+                    node: Some("node1".into()),
+                    state: BuildState::Succeeded,
+                    summary: None,
+                    artifacts: vec![],
+                    finished_at: Some(SimTime::from_secs(20)),
+                },
+                charge: Some(ChargeRecord {
+                    user: "alice".into(),
+                    job: "job".into(),
+                    device_time: SimDuration::from_secs(20),
+                }),
+            },
+            WalRecord::Heartbeats {
+                at: SimTime::from_secs(30),
+                outcomes: vec![("node1".into(), true)],
+            },
+            WalRecord::MaintenanceRan {
+                at: SimTime::from_secs(40),
+            },
+        ];
+        for record in records {
+            let bytes = record.encode();
+            let back = WalRecord::decode(&bytes).unwrap();
+            assert_eq!(bytes, back.encode(), "stable re-encoding: {record:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_fails_to_decode() {
+        assert!(WalRecord::decode(b"not json").is_err());
+    }
+}

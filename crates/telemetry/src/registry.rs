@@ -257,6 +257,59 @@ impl Report {
         families
     }
 
+    /// Prometheus text exposition format (version 0.0.4) for
+    /// `blab metrics --format prom` and scrape-style exports.
+    ///
+    /// Dotted metric names become underscore-separated (`adb.frames_tx`
+    /// → `adb_frames_tx`); any character outside `[a-zA-Z0-9_:]` is
+    /// mapped to `_`. Histograms render as cumulative `_bucket{le=...}`
+    /// series over the log2 bucket bounds (bucket `i > 0` covers
+    /// `[2^(i-1), 2^i)`, so its upper bound is `2^i - 1`), followed by
+    /// `+Inf`, `_sum` and `_count`. Output is deterministic: metrics
+    /// are emitted in `BTreeMap` name order.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitise(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitise(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let name = sanitise(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitise(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {count}\n{name}_sum {sum}\n{name}_count {count}\n",
+                count = h.count,
+                sum = h.sum,
+            ));
+        }
+        out
+    }
+
     /// Aligned text rendering for `blab metrics` and eval logs.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -323,6 +376,36 @@ impl Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prometheus_rendering_matches_golden() {
+        let registry = Registry::new();
+        registry.counter("adb.frames_tx").add(7);
+        registry.counter("node1.controller.adb_commands").add(2);
+        registry.gauge("power.vout_mv").set(4000);
+        let h = registry.histogram("power.run_us");
+        h.record(0);
+        h.record(1);
+        h.record(5);
+        h.record(1000);
+        let golden = "\
+# TYPE adb_frames_tx counter
+adb_frames_tx 7
+# TYPE node1_controller_adb_commands counter
+node1_controller_adb_commands 2
+# TYPE power_vout_mv gauge
+power_vout_mv 4000
+# TYPE power_run_us histogram
+power_run_us_bucket{le=\"0\"} 1
+power_run_us_bucket{le=\"1\"} 2
+power_run_us_bucket{le=\"7\"} 3
+power_run_us_bucket{le=\"1023\"} 4
+power_run_us_bucket{le=\"+Inf\"} 4
+power_run_us_sum 1006
+power_run_us_count 4
+";
+        assert_eq!(registry.snapshot().to_prometheus(), golden);
+    }
 
     #[test]
     fn same_name_shares_the_metric() {

@@ -37,6 +37,16 @@ cargo test -q -p batterylab-tests --test sampling_fastpath
 cargo run --release -q -p batterylab --bin blab -- chaos --seed 42 --runs 4 --intensity 1.0
 cargo test -q -p batterylab-tests --test chaos_soak
 
+# Crash-consistent durability: recover the access server from every WAL
+# record prefix, then crash/recover at every operation boundary of a
+# chaos scenario — jobs, ledger and the merged telemetry report must
+# come back byte-identical. The checkpoint run crashes a sampling
+# experiment mid-stream and verifies the resumed aggregates match the
+# uninterrupted run bit for bit.
+cargo run --release -q -p batterylab --bin blab -- recover --seed 42 --intensity 0.8
+cargo run --release -q -p batterylab --bin blab -- checkpoint --seconds 20 --rate 500
+cargo test -q -p batterylab-tests --test durable_recovery
+
 # Wall-clock split: evaluation at jobs=1 vs every available core.
 # Prints the per-figure table and refreshes BENCH_eval.json.
 cargo run --release -q -p batterylab-bench --bin bench_eval

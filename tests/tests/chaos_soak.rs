@@ -51,6 +51,40 @@ fn soak_is_deterministic_at_any_job_count() {
     );
 }
 
+/// Server crashes drawn by the chaos schedule kill the access server
+/// mid-drain and rebuild it from the write-ahead log; every invariant
+/// (no lost/duplicated jobs, conserved ledger, journaled faults) must
+/// keep holding, and the merged report must stay byte-identical at any
+/// worker count.
+#[test]
+fn server_crashes_hold_invariants_at_any_job_count() {
+    let base = ChaosConfig {
+        seed: 13,
+        runs: 3,
+        intensity: 1.0,
+        jobs: 1,
+    };
+    let serial = run_chaos(&base);
+    assert!(serial.passed(), "{:?}", serial.violations);
+    assert!(
+        serial.server_crashes > 0,
+        "chaos schedule never drew a server crash"
+    );
+    assert_eq!(
+        serial.jobs_succeeded + serial.jobs_failed,
+        serial.jobs_submitted,
+        "every job terminal exactly once across crashes"
+    );
+    let parallel = run_chaos(&ChaosConfig { jobs: 4, ..base });
+    assert!(parallel.passed(), "{:?}", parallel.violations);
+    assert_eq!(serial.server_crashes, parallel.server_crashes);
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "crash/recovery cycles must not break worker-count determinism"
+    );
+}
+
 /// An injected fault schedule must not change what a job is billed:
 /// failed attempts are never charged, so the fault-free and faulted runs
 /// both charge exactly the successful device time they report.

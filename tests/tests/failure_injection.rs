@@ -199,7 +199,7 @@ fn socket_retries_show_up_in_telemetry() {
     vp.power_monitor().unwrap();
     // …and the telemetry records how hard it had to work.
     let report = platform.metrics();
-    assert_eq!(report.counter("controller.socket_retries"), 2);
+    assert_eq!(report.counter("node1.controller.socket_retries"), 2);
 }
 
 #[test]
